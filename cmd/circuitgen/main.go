@@ -1,0 +1,54 @@
+// Command circuitgen writes the benchmark suite's netlists as ISCAS-89
+// .bench files, so they can be inspected or consumed by external tools.
+//
+//	circuitgen -o DIR [circuit ...]     (default: the whole suite)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro"
+)
+
+func main() {
+	out := flag.String("o", ".", "output directory")
+	flag.Parse()
+	names := flag.Args()
+	if len(names) == 0 {
+		names = wbist.CircuitNames()
+	}
+	if err := run(*out, names); err != nil {
+		fmt.Fprintln(os.Stderr, "circuitgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dir string, names []string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, name := range names {
+		c, err := wbist.LoadCircuit(name)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, name+".bench")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := wbist.WriteBench(f, c); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		st := c.Stats()
+		fmt.Printf("%s: %d PI, %d PO, %d FF, %d gates\n", path, st.Inputs, st.Outputs, st.DFFs, st.Gates)
+	}
+	return nil
+}

@@ -1,0 +1,360 @@
+// Command wbist is the main CLI for the weighted-test-sequence BIST
+// reproduction. Subcommands:
+//
+//	wbist info <circuit>            circuit statistics
+//	wbist run <circuit>             full pipeline, one Table 6 row + details
+//	wbist table6 [circuit...]       the paper's Table 6 (default: all)
+//	wbist obs <circuit>             one of the paper's Tables 7-16
+//	wbist synth <circuit>           synthesize + verify the Figure 1 generator
+//	wbist weights <circuit>         list the selected weight assignments
+//	wbist verilog <circuit>         emit the circuit as structural Verilog
+//	wbist verilog-gen <circuit>     emit the synthesized generator as Verilog
+//	wbist selftest <circuit>        signature-based BIST session report
+//	wbist report <circuit>          testability report (detection times, SCOAP)
+//	wbist faults <circuit>          fault dictionary (fault, detection time)
+//	wbist testbench <circuit>       self-checking Verilog testbench for T
+//
+// Common flags (before the subcommand): -lg, -seed, -random, -misr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/tables"
+)
+
+var (
+	flagLG     = flag.Int("lg", 0, "per-assignment sequence length L_G (0 = paper default 2000)")
+	flagSeed   = flag.Uint64("seed", 1, "master random seed")
+	flagRandom = flag.Int("random", 0, "pseudo-random LFSR windows before weight selection")
+	flagMISR   = flag.Int("misr", 16, "MISR width for the selftest subcommand")
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr,
+		"usage: wbist [flags] <info|run|table6|obs|synth|weights|verilog|verilog-gen|selftest> [circuit ...]")
+	flag.PrintDefaults()
+	os.Exit(2)
+}
+
+func main() {
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	cfg := wbist.Config{LG: *flagLG, Seed: *flagSeed, RandomWindows: *flagRandom}
+	var err error
+	switch args[0] {
+	case "info":
+		err = cmdInfo(args[1:])
+	case "run":
+		err = cmdRun(args[1:], cfg)
+	case "table6":
+		err = cmdTable6(args[1:], cfg)
+	case "obs":
+		err = cmdObs(args[1:], cfg)
+	case "synth":
+		err = cmdSynth(args[1:], cfg)
+	case "weights":
+		err = cmdWeights(args[1:], cfg)
+	case "verilog":
+		err = cmdVerilog(args[1:])
+	case "verilog-gen":
+		err = cmdVerilogGen(args[1:], cfg)
+	case "selftest":
+		err = cmdSelftest(args[1:], cfg)
+	case "report":
+		err = cmdReport(args[1:], cfg)
+	case "faults":
+		err = cmdFaults(args[1:], cfg)
+	case "testbench":
+		err = cmdTestbench(args[1:], cfg)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wbist:", err)
+		os.Exit(1)
+	}
+}
+
+func one(args []string) (string, error) {
+	if len(args) != 1 {
+		return "", fmt.Errorf("expected exactly one circuit name, got %d", len(args))
+	}
+	return args[0], nil
+}
+
+func cmdInfo(args []string) error {
+	name, err := one(args)
+	if err != nil {
+		return err
+	}
+	c, err := wbist.LoadCircuit(name)
+	if err != nil {
+		return err
+	}
+	fmt.Println(c.Stats())
+	fmt.Printf("collapsed stuck-at faults: %d\n", len(wbist.Faults(c)))
+	return nil
+}
+
+func cmdRun(args []string, cfg wbist.Config) error {
+	name, err := one(args)
+	if err != nil {
+		return err
+	}
+	r, err := wbist.RunCircuit(name, cfg)
+	if err != nil {
+		return err
+	}
+	row := wbist.Table6(r)
+	fmt.Printf("circuit %s: |T|=%d, detects %d of %d collapsed faults\n",
+		r.Name, row.Len, row.Det, r.TotalFaults)
+	fmt.Printf("weight assignments: %d generated, %d after reverse-order simulation\n",
+		len(r.Core.Omega), row.Seq)
+	fmt.Printf("subsequences: %d (max length %d); FSMs: %d with %d outputs\n",
+		row.Subs, row.MaxLen, row.FSMs, row.Outputs)
+	fmt.Printf("coverage of T's faults by the weighted sequences: %.1f%%\n", 100*row.Coverage)
+	fmt.Printf("candidate sequences fault-simulated: %d\n", r.Core.SimulatedSequences)
+	return nil
+}
+
+func cmdTable6(args []string, cfg wbist.Config) error {
+	names := args
+	if len(names) == 0 {
+		names = wbist.Table6Names()
+	}
+	t := tables.New("Table 6: Experimental results",
+		"circuit", "len", "det", "seq", "subs", "len*", "num", "out")
+	for _, name := range names {
+		r, err := wbist.RunCircuit(name, cfg)
+		if err != nil {
+			return err
+		}
+		row := wbist.Table6(r)
+		t.Add(row.Circuit, tables.Int(row.Len), tables.Int(row.Det),
+			tables.Int(row.Seq), tables.Int(row.Subs), tables.Int(row.MaxLen),
+			tables.Int(row.FSMs), tables.Int(row.Outputs))
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println("(len* = maximum subsequence length; num/out = FSM count / FSM outputs)")
+	return nil
+}
+
+func cmdObs(args []string, cfg wbist.Config) error {
+	name, err := one(args)
+	if err != nil {
+		return err
+	}
+	r, err := wbist.RunCircuit(name, cfg)
+	if err != nil {
+		return err
+	}
+	res := wbist.ObsExperiment(r)
+	t := tables.New(fmt.Sprintf("Observation point insertion for %s", name),
+		"seq", "sub", "len", "f.e.", "obs", "f.e.")
+	for _, row := range res.FilteredRows(99) {
+		t.Add(tables.Int(row.Seq), tables.Int(row.Subs), tables.Int(row.Len),
+			tables.F1(row.FE), tables.Int(row.Obs), tables.F1(row.FEObs))
+	}
+	return t.Render(os.Stdout)
+}
+
+func cmdSynth(args []string, cfg wbist.Config) error {
+	name, err := one(args)
+	if err != nil {
+		return err
+	}
+	r, err := wbist.RunCircuit(name, cfg)
+	if err != nil {
+		return err
+	}
+	g, err := wbist.Synthesize(r)
+	if err != nil {
+		return err
+	}
+	cut := r.Circuit.Stats()
+	fmt.Printf("test generator for %s: %d gates, %d flip-flops, %d FSMs, %d assignments, L_G=%d\n",
+		name, g.NumGates, g.NumDFFs, len(g.FSMs), g.NumAssignments, g.LG)
+	fmt.Printf("CUT: %d gates, %d flip-flops -> area overhead %.1f%% (gates) %.1f%% (FFs)\n",
+		cut.Gates, cut.DFFs,
+		100*float64(g.NumGates)/float64(cut.Gates),
+		100*float64(g.NumDFFs)/float64(max(cut.DFFs, 1)))
+	return nil
+}
+
+func cmdWeights(args []string, cfg wbist.Config) error {
+	name, err := one(args)
+	if err != nil {
+		return err
+	}
+	r, err := wbist.RunCircuit(name, cfg)
+	if err != nil {
+		return err
+	}
+	for j, a := range r.Compacted {
+		fmt.Printf("Ω%d: %s\n", j+1, a)
+	}
+	return nil
+}
+
+func cmdVerilog(args []string) error {
+	name, err := one(args)
+	if err != nil {
+		return err
+	}
+	c, err := wbist.LoadCircuit(name)
+	if err != nil {
+		return err
+	}
+	return wbist.WriteVerilog(os.Stdout, c)
+}
+
+func cmdVerilogGen(args []string, cfg wbist.Config) error {
+	name, err := one(args)
+	if err != nil {
+		return err
+	}
+	r, err := wbist.RunCircuit(name, cfg)
+	if err != nil {
+		return err
+	}
+	g, err := wbist.Synthesize(r)
+	if err != nil {
+		return err
+	}
+	return wbist.WriteVerilog(os.Stdout, g.Circuit)
+}
+
+func cmdSelftest(args []string, cfg wbist.Config) error {
+	name, err := one(args)
+	if err != nil {
+		return err
+	}
+	r, err := wbist.RunCircuit(name, cfg)
+	if err != nil {
+		return err
+	}
+	rep, err := wbist.RunBISTSession(r, *flagMISR)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("self-test session for %s: %d cycles, %d-bit MISR, golden signature %x\n",
+		name, rep.SessionLength, *flagMISR, rep.GoldenSignature)
+	fmt.Printf("targets %d | by compare %d | by signature %d | aliased %d | tainted %d\n",
+		len(rep.ByCompare), rep.NumByCompare, rep.NumBySignature, rep.Aliased, rep.Tainted)
+	return nil
+}
+
+func cmdReport(args []string, cfg wbist.Config) error {
+	name, err := one(args)
+	if err != nil {
+		return err
+	}
+	r, err := wbist.RunCircuit(name, cfg)
+	if err != nil {
+		return err
+	}
+	st := r.Circuit.Stats()
+	fmt.Println(st)
+	fmt.Printf("collapsed faults: %d; detected by T: %d (%.1f%%); |T| = %d\n",
+		r.TotalFaults, len(r.Targets),
+		100*float64(len(r.Targets))/float64(max(r.TotalFaults, 1)), r.T.Len())
+
+	// Detection-time histogram (eight buckets over |T|).
+	const buckets = 8
+	hist := make([]int, buckets)
+	for _, u := range r.DetTimes {
+		b := u * buckets / r.T.Len()
+		if b >= buckets {
+			b = buckets - 1
+		}
+		hist[b]++
+	}
+	t := tables.New("detection-time distribution", "time units", "faults")
+	for b := 0; b < buckets; b++ {
+		lo := b * r.T.Len() / buckets
+		hi := (b+1)*r.T.Len()/buckets - 1
+		t.Add(fmt.Sprintf("%d-%d", lo, hi), tables.Int(hist[b]))
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	// SCOAP summary.
+	m := wbist.Testability(r.Circuit, r.Init)
+	var maxCC, maxCO int32
+	unctl, unobs := 0, 0
+	for id := range r.Circuit.Nodes {
+		cc := m.CC0[id]
+		if m.CC1[id] > cc {
+			cc = m.CC1[id]
+		}
+		if cc >= 1<<30 {
+			unctl++
+		} else if cc > maxCC {
+			maxCC = cc
+		}
+		if m.CO[id] >= 1<<30 {
+			unobs++
+		} else if m.CO[id] > maxCO {
+			maxCO = m.CO[id]
+		}
+	}
+	fmt.Printf("SCOAP: max finite controllability %d, max finite observability %d, "+
+		"%d uncontrollable node(s), %d unobservable node(s)\n", maxCC, maxCO, unctl, unobs)
+	return nil
+}
+
+func cmdFaults(args []string, cfg wbist.Config) error {
+	name, err := one(args)
+	if err != nil {
+		return err
+	}
+	r, err := wbist.RunCircuit(name, cfg)
+	if err != nil {
+		return err
+	}
+	t := tables.New(fmt.Sprintf("fault dictionary for %s under T", name),
+		"fault", "detected at")
+	detected := map[string]int{}
+	for i, f := range r.Targets {
+		detected[f.String(r.Circuit)] = r.DetTimes[i]
+	}
+	for _, f := range wbist.Faults(r.Circuit) {
+		key := f.String(r.Circuit)
+		if u, ok := detected[key]; ok {
+			t.Add(key, tables.Int(u))
+		} else {
+			t.Add(key, "-")
+		}
+	}
+	return t.Render(os.Stdout)
+}
+
+func cmdTestbench(args []string, cfg wbist.Config) error {
+	name, err := one(args)
+	if err != nil {
+		return err
+	}
+	r, err := wbist.RunCircuit(name, cfg)
+	if err != nil {
+		return err
+	}
+	if r.Init != wbist.Zero {
+		return fmt.Errorf("testbench requires a reset-to-0 circuit (%s initialises to %v)", name, r.Init)
+	}
+	if err := wbist.WriteVerilog(os.Stdout, r.Circuit); err != nil {
+		return err
+	}
+	fmt.Println()
+	return wbist.WriteVerilogTestbench(os.Stdout, r.Circuit, r.T, r.Init)
+}

@@ -1,0 +1,148 @@
+package atpg
+
+import (
+	"testing"
+
+	"repro/internal/fsim"
+	"repro/internal/iscas"
+	"repro/internal/logic"
+	"repro/internal/sim"
+)
+
+func TestGenerateS27FullCoverage(t *testing.T) {
+	c := iscas.MustLoad("s27")
+	r := Generate(c, Options{Seed: 1, Init: logic.X})
+	if r.Coverage() < 1.0 {
+		var missing int
+		for _, d := range r.Detected {
+			if !d {
+				missing++
+			}
+		}
+		t.Fatalf("s27 coverage %.3f (%d missing); expected full coverage", r.Coverage(), missing)
+	}
+	if r.Seq.Len() == 0 {
+		t.Fatal("empty sequence")
+	}
+}
+
+func TestResultConsistency(t *testing.T) {
+	c := iscas.MustLoad("s298")
+	r := Generate(c, Options{Seed: 2, Init: logic.Zero})
+	// Re-simulating the returned sequence must reproduce the dictionary.
+	out := fsim.Run(c, r.Seq, r.Faults, fsim.Options{Init: logic.Zero})
+	for i := range r.Faults {
+		if out.Detected[i] != r.Detected[i] {
+			t.Fatalf("Detected[%d] inconsistent with re-simulation", i)
+		}
+		if out.DetTime[i] != r.DetTime[i] {
+			t.Fatalf("DetTime[%d] inconsistent: %d vs %d", i, out.DetTime[i], r.DetTime[i])
+		}
+	}
+	n := 0
+	for _, d := range r.Detected {
+		if d {
+			n++
+		}
+	}
+	if n != r.NumDetected {
+		t.Fatalf("NumDetected %d but %d flags set", r.NumDetected, n)
+	}
+	if len(r.DetectedFaults()) != n {
+		t.Fatal("DetectedFaults length mismatch")
+	}
+}
+
+func TestGenerateReasonableCoverageSynthetic(t *testing.T) {
+	for _, name := range []string{"s298", "s344", "s386"} {
+		c := iscas.MustLoad(name)
+		r := Generate(c, Options{Seed: 3, Init: logic.Zero})
+		if r.Coverage() < 0.70 {
+			t.Errorf("%s: coverage %.3f below 0.70; the synthetic suite should be mostly testable",
+				name, r.Coverage())
+		}
+	}
+}
+
+func TestCompactionShortensOrKeeps(t *testing.T) {
+	c := iscas.MustLoad("s298")
+	long := Generate(c, Options{Seed: 4, Init: logic.Zero, NoCompaction: true})
+	short := Generate(c, Options{Seed: 4, Init: logic.Zero})
+	if short.Seq.Len() > long.Seq.Len() {
+		t.Fatalf("compaction grew the sequence: %d > %d", short.Seq.Len(), long.Seq.Len())
+	}
+	if short.NumDetected < long.NumDetected {
+		t.Fatalf("compaction lost coverage: %d < %d", short.NumDetected, long.NumDetected)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	c := iscas.MustLoad("s344")
+	a := Generate(c, Options{Seed: 7, Init: logic.Zero})
+	b := Generate(c, Options{Seed: 7, Init: logic.Zero})
+	if a.Seq.String() != b.Seq.String() {
+		t.Fatal("same seed produced different sequences")
+	}
+	if a.NumDetected != b.NumDetected {
+		t.Fatal("same seed produced different coverage")
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	c := iscas.MustLoad("s344")
+	a := Generate(c, Options{Seed: 1, Init: logic.Zero})
+	b := Generate(c, Options{Seed: 2, Init: logic.Zero})
+	if a.Seq.String() == b.Seq.String() {
+		t.Fatal("different seeds produced identical sequences")
+	}
+}
+
+func TestWeightedRandomShape(t *testing.T) {
+	seq := weightedRandom(newRNG(5), 7, 33)
+	if seq.Len() != 33 || seq.NumInputs != 7 {
+		t.Fatalf("shape %dx%d", seq.Len(), seq.NumInputs)
+	}
+	for _, vec := range seq.Vecs {
+		for _, v := range vec {
+			if !v.IsBinary() {
+				t.Fatal("weighted random emitted X")
+			}
+		}
+	}
+}
+
+func TestDetTimesAreFirstDetections(t *testing.T) {
+	c := iscas.MustLoad("s27")
+	r := Generate(c, Options{Seed: 9, Init: logic.X})
+	for i := range r.Faults {
+		if !r.Detected[i] {
+			continue
+		}
+		// Truncating right before the detection time must leave the fault
+		// undetected.
+		if r.DetTime[i] == 0 {
+			continue
+		}
+		pre := r.Seq.Slice(0, r.DetTime[i])
+		out := fsim.Run(c, pre, r.Faults[i:i+1], fsim.Options{Init: logic.X})
+		if out.Detected[0] {
+			t.Fatalf("fault %s detected before recorded DetTime %d",
+				r.Faults[i].String(c), r.DetTime[i])
+		}
+	}
+}
+
+func TestGenerateHandlesTinyCircuit(t *testing.T) {
+	p := iscas.Profile{Name: "tiny", Inputs: 2, Outputs: 1, DFFs: 1, Gates: 5, Seed: 42, Synthetic: true}
+	c, err := iscas.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Generate(c, Options{Seed: 1, Init: logic.Zero, RandomLen: 64})
+	if r.Seq.Len() < 1 {
+		t.Fatal("sequence too short")
+	}
+	_ = r.Coverage()
+}
+
+var _ = sim.NewSequence // keep import if helpers change

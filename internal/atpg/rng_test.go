@@ -1,0 +1,5 @@
+package atpg
+
+import "repro/internal/randutil"
+
+func newRNG(seed uint64) *randutil.RNG { return randutil.New(seed) }

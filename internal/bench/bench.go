@@ -1,0 +1,149 @@
+// Package bench reads and writes gate-level netlists in the ISCAS-89 .bench
+// format:
+//
+//	# comment
+//	INPUT(G0)
+//	OUTPUT(G17)
+//	G5 = DFF(G10)
+//	G8 = AND(G14, G6)
+//
+// Gate names accepted (case-insensitive): DFF, BUF(F), NOT, AND, NAND, OR,
+// NOR, XOR, XNOR.
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/circuit"
+)
+
+// Parse reads a .bench netlist and builds a validated circuit named name.
+func Parse(name string, r io.Reader) (*circuit.Circuit, error) {
+	b := circuit.NewBuilder(name)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if err := parseLine(b, line); err != nil {
+			return nil, fmt.Errorf("bench %s line %d: %w", name, lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bench %s: %w", name, err)
+	}
+	return b.Build()
+}
+
+func parseLine(b *circuit.Builder, line string) error {
+	upper := strings.ToUpper(line)
+	switch {
+	case strings.HasPrefix(upper, "INPUT(") || strings.HasPrefix(upper, "INPUT ("):
+		arg, err := insideParens(line)
+		if err != nil {
+			return err
+		}
+		b.Input(arg)
+		return nil
+	case strings.HasPrefix(upper, "OUTPUT(") || strings.HasPrefix(upper, "OUTPUT ("):
+		arg, err := insideParens(line)
+		if err != nil {
+			return err
+		}
+		b.Output(arg)
+		return nil
+	}
+	eq := strings.IndexByte(line, '=')
+	if eq < 0 {
+		return fmt.Errorf("malformed line %q", line)
+	}
+	target := strings.TrimSpace(line[:eq])
+	if target == "" {
+		return fmt.Errorf("missing target in %q", line)
+	}
+	rhs := strings.TrimSpace(line[eq+1:])
+	open := strings.IndexByte(rhs, '(')
+	closeP := strings.LastIndexByte(rhs, ')')
+	if open < 0 || closeP < open {
+		return fmt.Errorf("malformed gate expression %q", rhs)
+	}
+	fn := strings.ToUpper(strings.TrimSpace(rhs[:open]))
+	if fn == "BUFF" {
+		fn = "BUF"
+	}
+	var args []string
+	for _, a := range strings.Split(rhs[open+1:closeP], ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			return fmt.Errorf("empty fanin in %q", rhs)
+		}
+		args = append(args, a)
+	}
+	if fn == "DFF" {
+		if len(args) != 1 {
+			return fmt.Errorf("DFF %q needs 1 fanin, has %d", target, len(args))
+		}
+		b.DFF(target, args[0])
+		return nil
+	}
+	t, ok := circuit.ParseGateType(fn)
+	if !ok || !t.IsGate() {
+		return fmt.Errorf("unknown gate function %q", fn)
+	}
+	b.Gate(target, t, args...)
+	return nil
+}
+
+func insideParens(s string) (string, error) {
+	open := strings.IndexByte(s, '(')
+	closeP := strings.LastIndexByte(s, ')')
+	if open < 0 || closeP < open {
+		return "", fmt.Errorf("malformed declaration %q", s)
+	}
+	arg := strings.TrimSpace(s[open+1 : closeP])
+	if arg == "" {
+		return "", fmt.Errorf("empty name in %q", s)
+	}
+	return arg, nil
+}
+
+// Write serialises c in .bench format: inputs, outputs, flip-flops, then
+// gates in topological order.
+func Write(w io.Writer, c *circuit.Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s\n", c.Name)
+	s := c.Stats()
+	fmt.Fprintf(bw, "# %d inputs, %d outputs, %d D-type flipflops, %d gates\n",
+		s.Inputs, s.Outputs, s.DFFs, s.Gates)
+	for _, id := range c.Inputs {
+		fmt.Fprintf(bw, "INPUT(%s)\n", c.Nodes[id].Name)
+	}
+	for _, id := range c.Outputs {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", c.Nodes[id].Name)
+	}
+	fmt.Fprintln(bw)
+	for _, id := range c.DFFs {
+		n := &c.Nodes[id]
+		fmt.Fprintf(bw, "%s = DFF(%s)\n", n.Name, c.Nodes[n.Fanins[0]].Name)
+	}
+	for _, id := range c.Order {
+		n := &c.Nodes[id]
+		names := make([]string, len(n.Fanins))
+		for k, f := range n.Fanins {
+			names[k] = c.Nodes[f].Name
+		}
+		fmt.Fprintf(bw, "%s = %s(%s)\n", n.Name, n.Type, strings.Join(names, ", "))
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const s27Text = `
+# s27 test
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+`
+
+func TestParseS27(t *testing.T) {
+	c, err := Parse("s27", strings.NewReader(s27Text))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	s := c.Stats()
+	if s.Inputs != 4 || s.Outputs != 1 || s.DFFs != 3 || s.Gates != 10 {
+		t.Fatalf("stats: %+v", s)
+	}
+	g11, ok := c.Lookup("G11")
+	if !ok {
+		t.Fatal("G11 missing")
+	}
+	if len(c.Nodes[g11].Fanins) != 2 {
+		t.Fatalf("G11 fanins: %v", c.Nodes[g11].Fanins)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	c, err := Parse("s27", strings.NewReader(s27Text))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	c2, err := Parse("s27rt", strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("re-Parse: %v\n%s", err, buf.String())
+	}
+	s1, s2 := c.Stats(), c2.Stats()
+	s1.Name, s2.Name = "", ""
+	if s1 != s2 {
+		t.Fatalf("round trip changed stats:\n%+v\n%+v", s1, s2)
+	}
+	// Structure must be identical node-for-node by name.
+	for i := range c.Nodes {
+		n := &c.Nodes[i]
+		id2, ok := c2.Lookup(n.Name)
+		if !ok {
+			t.Fatalf("node %s lost in round trip", n.Name)
+		}
+		n2 := &c2.Nodes[id2]
+		if n.Type != n2.Type || len(n.Fanins) != len(n2.Fanins) {
+			t.Fatalf("node %s changed: %v/%d vs %v/%d", n.Name, n.Type, len(n.Fanins), n2.Type, len(n2.Fanins))
+		}
+		for k := range n.Fanins {
+			if c.Nodes[n.Fanins[k]].Name != c2.Nodes[n2.Fanins[k]].Name {
+				t.Fatalf("node %s fanin %d changed", n.Name, k)
+			}
+		}
+	}
+}
+
+func TestParseBuffAlias(t *testing.T) {
+	text := "INPUT(a)\nOUTPUT(b)\nb = BUFF(a)\n"
+	c, err := Parse("buf", strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if c.NumGates() != 1 {
+		t.Fatal("BUFF not parsed")
+	}
+}
+
+func TestParseLowercaseAndSpacing(t *testing.T) {
+	text := "input( a )\noutput( z )\n z  =  nand( a , a )\n"
+	if _, err := Parse("lc", strings.NewReader(text)); err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"INPUT a\nOUTPUT(z)\nz = NOT(a)\n",    // malformed INPUT
+		"INPUT(a)\nOUTPUT(z)\nz NOT(a)\n",     // missing '='
+		"INPUT(a)\nOUTPUT(z)\nz = FROB(a)\n",  // unknown function
+		"INPUT(a)\nOUTPUT(z)\nz = NOT a\n",    // missing parens
+		"INPUT(a)\nOUTPUT(z)\nz = DFF(a,a)\n", // DFF arity
+		"INPUT(a)\nOUTPUT(z)\nz = AND(a,)\n",  // empty fanin
+		"INPUT()\nOUTPUT(z)\nz = NOT(a)\n",    // empty name
+		"INPUT(a)\nOUTPUT(z)\n = NOT(a)\n",    // empty target
+	}
+	for k, text := range cases {
+		if _, err := Parse("bad", strings.NewReader(text)); err == nil {
+			t.Errorf("case %d: expected parse error for %q", k, text)
+		}
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	text := "# header\n\nINPUT(a) # trailing comment\nOUTPUT(z)\nz = NOT(a)\n#tail\n"
+	c, err := Parse("c", strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if c.NumInputs() != 1 {
+		t.Fatal("comment handling broke INPUT")
+	}
+}

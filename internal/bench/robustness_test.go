@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/randutil"
+)
+
+// TestParseNeverPanics feeds the parser random byte soup (seeded with
+// format-ish fragments so it reaches deep paths) and requires it to either
+// parse or return an error — never panic.
+func TestParseNeverPanics(t *testing.T) {
+	fragments := []string{
+		"INPUT(", "OUTPUT(", ")", "=", "DFF", "AND", "NAND", "(", ",",
+		"G1", "G2", "#", "\n", " ", "NOT", "a", "0",
+	}
+	prop := func(seed uint64) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		rng := randutil.New(seed)
+		var b strings.Builder
+		n := rng.Intn(60)
+		for i := 0; i < n; i++ {
+			b.WriteString(fragments[rng.Intn(len(fragments))])
+		}
+		_, _ = Parse("fuzz", strings.NewReader(b.String()))
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParseRawGarbageNeverPanics uses completely random strings.
+func TestParseRawGarbageNeverPanics(t *testing.T) {
+	prop := func(s string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = Parse("fuzz", strings.NewReader(s))
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRoundTripPropertyOnGeneratedCircuits: any circuit the suite generator
+// produces must survive Write/Parse with identical structure.
+func TestWriteOutputAlwaysReparses(t *testing.T) {
+	// Names with only safe characters are guaranteed; this is the invariant
+	// Write relies on.
+	text := "INPUT(a)\nOUTPUT(z)\nq = DFF(g)\ng = XNOR(a, q)\nz = BUFF(g)\n"
+	c, err := Parse("x", strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Write(&sb, c); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Parse("x2", strings.NewReader(sb.String())); err != nil {
+		t.Fatalf("rewrite did not reparse: %v\n%s", err, sb.String())
+	}
+}

@@ -1,0 +1,134 @@
+package check
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/iscas"
+	"repro/internal/logic"
+	"repro/internal/wgen"
+)
+
+func TestBenchRoundTripEquivalence(t *testing.T) {
+	for _, name := range []string{"s27", "s298", "s344"} {
+		c := iscas.MustLoad(name)
+		var buf bytes.Buffer
+		if err := bench.Write(&buf, c); err != nil {
+			t.Fatal(err)
+		}
+		c2, err := bench.Parse(name+"_rt", bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Equivalent(c, c2, Options{Seed: 1, Init: logic.Zero}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestDetectsRealDifference(t *testing.T) {
+	a := build(t, circuit.And)
+	b := build(t, circuit.Or)
+	err := Equivalent(a, b, Options{Seed: 2, Init: logic.Zero})
+	var m *Mismatch
+	if !errors.As(err, &m) {
+		t.Fatalf("expected a mismatch, got %v", err)
+	}
+	if m.Sequence == nil || m.Time < 0 {
+		t.Fatalf("mismatch missing context: %+v", m)
+	}
+	if m.Error() == "" {
+		t.Fatal("empty error text")
+	}
+}
+
+func build(t *testing.T, gt circuit.GateType) *circuit.Circuit {
+	t.Helper()
+	b := circuit.NewBuilder("g")
+	b.Input("a")
+	b.Input("b")
+	b.Gate("z", gt, "a", "b")
+	b.Output("z")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestInterfaceMismatch(t *testing.T) {
+	a := build(t, circuit.And)
+	b := circuit.NewBuilder("one")
+	b.Input("a")
+	b.Gate("z", circuit.Not, "a")
+	b.Output("z")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Equivalent(a, c, Options{}); err == nil {
+		t.Fatal("interface mismatch accepted")
+	}
+}
+
+func TestSequentialDifferenceFound(t *testing.T) {
+	// Two shift registers of different depth only diverge after the shorter
+	// one's latency: the checker must still catch it.
+	mk := func(n int) *circuit.Circuit {
+		b := circuit.NewBuilder("sr")
+		b.Input("in")
+		prev := "in"
+		for i := 0; i < n; i++ {
+			name := "q" + string(rune('0'+i))
+			b.DFF(name, prev)
+			prev = name
+		}
+		b.Gate("out", circuit.Buf, prev)
+		b.Output("out")
+		c, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	if err := Equivalent(mk(3), mk(4), Options{Seed: 3, Init: logic.Zero}); err == nil {
+		t.Fatal("different latencies not detected")
+	}
+	if err := Equivalent(mk(3), mk(3), Options{Seed: 3, Init: logic.Zero}); err != nil {
+		t.Fatalf("identical registers flagged: %v", err)
+	}
+}
+
+func TestGeneratorBenchRoundTrip(t *testing.T) {
+	// A synthesized generator survives the .bench round trip behaviourally.
+	omega := []core.Assignment{
+		{Subs: []string{"01", "0", "100", "1"}},
+		{Subs: []string{"100", "00", "01", "100"}},
+	}
+	g, err := wgen.Synthesize("gen", omega, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := bench.Write(&buf, g.Circuit); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := bench.Parse("gen_rt", bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Equivalent(g.Circuit, rt, Options{Seed: 4, Init: logic.Zero, Length: 64}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXInitEquivalence(t *testing.T) {
+	c := iscas.MustLoad("s27")
+	if err := Equivalent(c, c, Options{Seed: 5, Init: logic.X, Length: 32}); err != nil {
+		t.Fatalf("self-equivalence with X init failed: %v", err)
+	}
+}

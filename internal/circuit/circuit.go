@@ -1,0 +1,359 @@
+// Package circuit defines the gate-level netlist model for synchronous
+// sequential circuits: primary inputs, an arbitrary combinational gate
+// network, D flip-flops and primary outputs. Flip-flops are edge-triggered
+// and update simultaneously once per time unit; there is no gate-delay
+// modelling (zero-delay cycle simulation), which matches the fault model of
+// the reproduced paper.
+package circuit
+
+import (
+	"fmt"
+	"sort"
+)
+
+// GateType enumerates node kinds. Input and DFF nodes are sequential-frame
+// sources; the rest are combinational gates.
+type GateType uint8
+
+const (
+	// Input is a primary input.
+	Input GateType = iota
+	// DFF is a D flip-flop; Fanins[0] is the D (next-state) input and the
+	// node's value is the flip-flop output (present state).
+	DFF
+	// Buf is a non-inverting buffer (1 fanin).
+	Buf
+	// Not is an inverter (1 fanin).
+	Not
+	// And is an AND gate (≥1 fanins).
+	And
+	// Nand is a NAND gate (≥1 fanins).
+	Nand
+	// Or is an OR gate (≥1 fanins).
+	Or
+	// Nor is a NOR gate (≥1 fanins).
+	Nor
+	// Xor is an XOR gate (≥1 fanins).
+	Xor
+	// Xnor is an XNOR gate (≥1 fanins).
+	Xnor
+)
+
+var gateNames = [...]string{
+	Input: "INPUT", DFF: "DFF", Buf: "BUF", Not: "NOT",
+	And: "AND", Nand: "NAND", Or: "OR", Nor: "NOR", Xor: "XOR", Xnor: "XNOR",
+}
+
+// String returns the conventional upper-case gate name (as used by the
+// ISCAS-89 .bench format).
+func (t GateType) String() string {
+	if int(t) < len(gateNames) {
+		return gateNames[t]
+	}
+	return fmt.Sprintf("GateType(%d)", uint8(t))
+}
+
+// ParseGateType maps a .bench function name to a GateType.
+func ParseGateType(s string) (GateType, bool) {
+	for t, n := range gateNames {
+		if n == s {
+			return GateType(t), true
+		}
+	}
+	return 0, false
+}
+
+// IsGate reports whether t is a combinational gate (not Input or DFF).
+func (t GateType) IsGate() bool { return t != Input && t != DFF }
+
+// NodeID indexes into Circuit.Nodes.
+type NodeID int32
+
+// Node is a single netlist node. Its value is the output of the gate (or the
+// primary-input value, or the flip-flop output).
+type Node struct {
+	Name    string
+	Type    GateType
+	Fanins  []NodeID
+	Fanouts []NodeID // computed by Build
+	Level   int32    // 0 for Input/DFF, 1+max(fanin levels) for gates
+}
+
+// Circuit is an immutable, validated netlist. Build one with a Builder or the
+// bench parser.
+type Circuit struct {
+	Name    string
+	Nodes   []Node
+	Inputs  []NodeID // primary inputs, in declaration order
+	Outputs []NodeID // primary outputs, in declaration order
+	DFFs    []NodeID // flip-flops, in declaration order
+	// Order lists all combinational gate nodes in topological order
+	// (every gate appears after all of its gate fanins).
+	Order []NodeID
+
+	byName map[string]NodeID
+	isPO   []bool
+}
+
+// NumNodes returns the total node count.
+func (c *Circuit) NumNodes() int { return len(c.Nodes) }
+
+// NumGates returns the number of combinational gates.
+func (c *Circuit) NumGates() int { return len(c.Order) }
+
+// NumInputs returns the number of primary inputs.
+func (c *Circuit) NumInputs() int { return len(c.Inputs) }
+
+// NumOutputs returns the number of primary outputs.
+func (c *Circuit) NumOutputs() int { return len(c.Outputs) }
+
+// NumDFFs returns the number of flip-flops.
+func (c *Circuit) NumDFFs() int { return len(c.DFFs) }
+
+// Lookup returns the node with the given name.
+func (c *Circuit) Lookup(name string) (NodeID, bool) {
+	id, ok := c.byName[name]
+	return id, ok
+}
+
+// IsPO reports whether node id is a primary output.
+func (c *Circuit) IsPO(id NodeID) bool { return c.isPO[id] }
+
+// MaxLevel returns the largest combinational level in the circuit.
+func (c *Circuit) MaxLevel() int32 {
+	var m int32
+	for i := range c.Nodes {
+		if c.Nodes[i].Level > m {
+			m = c.Nodes[i].Level
+		}
+	}
+	return m
+}
+
+// Stats summarises a circuit for reports.
+type Stats struct {
+	Name                  string
+	Inputs, Outputs, DFFs int
+	Gates, Nodes          int
+	MaxLevel              int
+	Lines                 int // fault sites: one stem per non-PO-terminal node plus fanout branches
+}
+
+// Stats computes summary statistics.
+func (c *Circuit) Stats() Stats {
+	lines := 0
+	for i := range c.Nodes {
+		lines++ // stem
+		if len(c.Nodes[i].Fanouts) > 1 {
+			lines += len(c.Nodes[i].Fanouts)
+		}
+	}
+	return Stats{
+		Name:   c.Name,
+		Inputs: len(c.Inputs), Outputs: len(c.Outputs), DFFs: len(c.DFFs),
+		Gates: len(c.Order), Nodes: len(c.Nodes),
+		MaxLevel: int(c.MaxLevel()),
+		Lines:    lines,
+	}
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%s: %d PI, %d PO, %d FF, %d gates, %d levels, %d lines",
+		s.Name, s.Inputs, s.Outputs, s.DFFs, s.Gates, s.MaxLevel, s.Lines)
+}
+
+// Builder assembles a Circuit incrementally. Names may be referenced before
+// they are defined; Build resolves everything and validates the result.
+type Builder struct {
+	name    string
+	nodes   []Node
+	inputs  []NodeID
+	outputs []string
+	dffs    []NodeID
+	byName  map[string]NodeID
+	pending map[string][]pendingRef // name -> references awaiting definition
+	defined map[string]bool
+	errs    []error
+}
+
+type pendingRef struct {
+	node NodeID
+	slot int
+}
+
+// NewBuilder returns an empty builder for a circuit with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		name:    name,
+		byName:  make(map[string]NodeID),
+		pending: make(map[string][]pendingRef),
+		defined: make(map[string]bool),
+	}
+}
+
+// intern returns the id for name, creating a placeholder node if needed.
+func (b *Builder) intern(name string) NodeID {
+	if id, ok := b.byName[name]; ok {
+		return id
+	}
+	id := NodeID(len(b.nodes))
+	b.nodes = append(b.nodes, Node{Name: name})
+	b.byName[name] = id
+	return id
+}
+
+func (b *Builder) define(name string, t GateType, fanins []string) NodeID {
+	id := b.intern(name)
+	if b.defined[name] {
+		b.errs = append(b.errs, fmt.Errorf("circuit %s: node %q defined twice", b.name, name))
+		return id
+	}
+	b.defined[name] = true
+	b.nodes[id].Type = t
+	b.nodes[id].Fanins = make([]NodeID, len(fanins))
+	for k, fn := range fanins {
+		b.nodes[id].Fanins[k] = b.intern(fn)
+	}
+	return id
+}
+
+// Input declares a primary input.
+func (b *Builder) Input(name string) {
+	id := b.define(name, Input, nil)
+	b.inputs = append(b.inputs, id)
+}
+
+// Output marks name (defined now or later) as a primary output.
+func (b *Builder) Output(name string) {
+	b.outputs = append(b.outputs, name)
+}
+
+// DFF declares a flip-flop whose D input is the node named d.
+func (b *Builder) DFF(name, d string) {
+	id := b.define(name, DFF, []string{d})
+	b.dffs = append(b.dffs, id)
+}
+
+// Gate declares a combinational gate.
+func (b *Builder) Gate(name string, t GateType, fanins ...string) {
+	if !t.IsGate() {
+		b.errs = append(b.errs, fmt.Errorf("circuit %s: node %q: %v is not a gate type", b.name, name, t))
+		return
+	}
+	b.define(name, t, fanins)
+}
+
+// Build validates and finalizes the circuit.
+func (b *Builder) Build() (*Circuit, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	c := &Circuit{
+		Name:   b.name,
+		Nodes:  b.nodes,
+		Inputs: b.inputs,
+		DFFs:   b.dffs,
+		byName: b.byName,
+	}
+	// All referenced names must be defined.
+	for i := range c.Nodes {
+		if !b.defined[c.Nodes[i].Name] {
+			return nil, fmt.Errorf("circuit %s: node %q referenced but never defined", c.Name, c.Nodes[i].Name)
+		}
+	}
+	// Resolve outputs.
+	c.isPO = make([]bool, len(c.Nodes))
+	for _, on := range b.outputs {
+		id, ok := c.byName[on]
+		if !ok {
+			return nil, fmt.Errorf("circuit %s: output %q not defined", c.Name, on)
+		}
+		if c.isPO[id] {
+			return nil, fmt.Errorf("circuit %s: output %q declared twice", c.Name, on)
+		}
+		c.isPO[id] = true
+		c.Outputs = append(c.Outputs, id)
+	}
+	// Arity checks.
+	for i := range c.Nodes {
+		n := &c.Nodes[i]
+		switch n.Type {
+		case Input:
+			if len(n.Fanins) != 0 {
+				return nil, fmt.Errorf("circuit %s: input %q has fanins", c.Name, n.Name)
+			}
+		case DFF, Buf, Not:
+			if len(n.Fanins) != 1 {
+				return nil, fmt.Errorf("circuit %s: %v %q needs exactly 1 fanin, has %d", c.Name, n.Type, n.Name, len(n.Fanins))
+			}
+		default:
+			if len(n.Fanins) < 1 {
+				return nil, fmt.Errorf("circuit %s: %v %q needs at least 1 fanin", c.Name, n.Type, n.Name)
+			}
+		}
+	}
+	// Fanouts.
+	for i := range c.Nodes {
+		for _, f := range c.Nodes[i].Fanins {
+			c.Nodes[f].Fanouts = append(c.Nodes[f].Fanouts, NodeID(i))
+		}
+	}
+	// Topological order of the combinational network. DFF D-input edges are
+	// sequential and therefore cut; Input/DFF nodes are level-0 sources.
+	indeg := make([]int, len(c.Nodes))
+	for i := range c.Nodes {
+		n := &c.Nodes[i]
+		if !n.Type.IsGate() {
+			continue
+		}
+		for _, f := range n.Fanins {
+			if c.Nodes[f].Type.IsGate() {
+				indeg[i]++
+			}
+		}
+	}
+	queue := make([]NodeID, 0, len(c.Nodes))
+	for i := range c.Nodes {
+		if c.Nodes[i].Type.IsGate() && indeg[i] == 0 {
+			queue = append(queue, NodeID(i))
+		}
+	}
+	sort.Slice(queue, func(a, b int) bool { return queue[a] < queue[b] })
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		c.Order = append(c.Order, id)
+		lvl := int32(0)
+		for _, f := range c.Nodes[id].Fanins {
+			if c.Nodes[f].Level > lvl {
+				lvl = c.Nodes[f].Level
+			}
+		}
+		c.Nodes[id].Level = lvl + 1
+		for _, g := range c.Nodes[id].Fanouts {
+			if c.Nodes[g].Type.IsGate() {
+				indeg[g]--
+				if indeg[g] == 0 {
+					queue = append(queue, g)
+				}
+			}
+		}
+	}
+	gateCount := 0
+	for i := range c.Nodes {
+		if c.Nodes[i].Type.IsGate() {
+			gateCount++
+		}
+	}
+	if len(c.Order) != gateCount {
+		return nil, fmt.Errorf("circuit %s: combinational cycle detected (%d of %d gates ordered)",
+			c.Name, len(c.Order), gateCount)
+	}
+	if len(c.Inputs) == 0 {
+		return nil, fmt.Errorf("circuit %s: no primary inputs", c.Name)
+	}
+	if len(c.Outputs) == 0 {
+		return nil, fmt.Errorf("circuit %s: no primary outputs", c.Name)
+	}
+	return c, nil
+}

@@ -1,0 +1,211 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildToy returns a tiny sequential circuit:
+//
+//	a, b   : inputs
+//	q      : DFF with D = g2
+//	g1 = AND(a, q)
+//	g2 = NOR(g1, b)
+//	outputs: g2
+func buildToy(t *testing.T) *Circuit {
+	t.Helper()
+	b := NewBuilder("toy")
+	b.Input("a")
+	b.Input("b")
+	b.DFF("q", "g2") // forward reference
+	b.Gate("g1", And, "a", "q")
+	b.Gate("g2", Nor, "g1", "b")
+	b.Output("g2")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return c
+}
+
+func TestBuildToy(t *testing.T) {
+	c := buildToy(t)
+	if c.NumInputs() != 2 || c.NumOutputs() != 1 || c.NumDFFs() != 1 || c.NumGates() != 2 {
+		t.Fatalf("wrong counts: %+v", c.Stats())
+	}
+	g1, _ := c.Lookup("g1")
+	g2, _ := c.Lookup("g2")
+	if c.Nodes[g1].Level != 1 || c.Nodes[g2].Level != 2 {
+		t.Fatalf("levels: g1=%d g2=%d", c.Nodes[g1].Level, c.Nodes[g2].Level)
+	}
+	if len(c.Order) != 2 || c.Order[0] != g1 || c.Order[1] != g2 {
+		t.Fatalf("order: %v", c.Order)
+	}
+	if !c.IsPO(g2) || c.IsPO(g1) {
+		t.Fatal("IsPO wrong")
+	}
+	q, _ := c.Lookup("q")
+	if len(c.Nodes[q].Fanouts) != 1 || c.Nodes[q].Fanouts[0] != g1 {
+		t.Fatalf("fanouts of q: %v", c.Nodes[q].Fanouts)
+	}
+}
+
+func TestForwardReferences(t *testing.T) {
+	b := NewBuilder("fwd")
+	b.Input("i")
+	b.Gate("top", Not, "bottom") // bottom not yet defined
+	b.Gate("bottom", Buf, "i")
+	b.Output("top")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	top, _ := c.Lookup("top")
+	if c.Nodes[top].Level != 2 {
+		t.Fatalf("level of top = %d, want 2", c.Nodes[top].Level)
+	}
+}
+
+func TestUndefinedReference(t *testing.T) {
+	b := NewBuilder("bad")
+	b.Input("i")
+	b.Gate("g", Not, "ghost")
+	b.Output("g")
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "never defined") {
+		t.Fatalf("expected undefined-reference error, got %v", err)
+	}
+}
+
+func TestDoubleDefinition(t *testing.T) {
+	b := NewBuilder("bad")
+	b.Input("i")
+	b.Gate("g", Not, "i")
+	b.Gate("g", Buf, "i")
+	b.Output("g")
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "defined twice") {
+		t.Fatalf("expected double-definition error, got %v", err)
+	}
+}
+
+func TestCombinationalCycle(t *testing.T) {
+	b := NewBuilder("cyc")
+	b.Input("i")
+	b.Gate("g1", And, "i", "g2")
+	b.Gate("g2", And, "i", "g1")
+	b.Output("g1")
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("expected cycle error, got %v", err)
+	}
+}
+
+func TestSequentialLoopIsLegal(t *testing.T) {
+	// A DFF feedback loop must NOT count as a combinational cycle.
+	b := NewBuilder("seqloop")
+	b.Input("i")
+	b.DFF("q", "g")
+	b.Gate("g", Xor, "i", "q")
+	b.Output("g")
+	if _, err := b.Build(); err != nil {
+		t.Fatalf("sequential loop rejected: %v", err)
+	}
+}
+
+func TestArityErrors(t *testing.T) {
+	cases := []func(b *Builder){
+		func(b *Builder) { b.Gate("g", Not, "i", "i") }, // NOT with 2 fanins
+		func(b *Builder) { b.Gate("g", And) },           // AND with 0 fanins
+		func(b *Builder) { b.Gate("g", Buf, "i", "i") }, // BUF with 2 fanins
+	}
+	for k, mut := range cases {
+		b := NewBuilder("bad")
+		b.Input("i")
+		mut(b)
+		b.Output("g")
+		if _, err := b.Build(); err == nil {
+			t.Errorf("case %d: expected arity error", k)
+		}
+	}
+}
+
+func TestMissingOutput(t *testing.T) {
+	b := NewBuilder("noout")
+	b.Input("i")
+	b.Gate("g", Not, "i")
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "no primary outputs") {
+		t.Fatalf("expected missing-output error, got %v", err)
+	}
+}
+
+func TestUnknownOutputName(t *testing.T) {
+	b := NewBuilder("badout")
+	b.Input("i")
+	b.Gate("g", Not, "i")
+	b.Output("nope")
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "not defined") {
+		t.Fatalf("expected unknown-output error, got %v", err)
+	}
+}
+
+func TestDuplicateOutput(t *testing.T) {
+	b := NewBuilder("dupout")
+	b.Input("i")
+	b.Gate("g", Not, "i")
+	b.Output("g")
+	b.Output("g")
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "declared twice") {
+		t.Fatalf("expected duplicate-output error, got %v", err)
+	}
+}
+
+func TestGateTypeRoundTrip(t *testing.T) {
+	for _, tt := range []GateType{Input, DFF, Buf, Not, And, Nand, Or, Nor, Xor, Xnor} {
+		got, ok := ParseGateType(tt.String())
+		if !ok || got != tt {
+			t.Errorf("ParseGateType(%q) = %v,%v", tt.String(), got, ok)
+		}
+	}
+	if _, ok := ParseGateType("FROB"); ok {
+		t.Error("ParseGateType accepted garbage")
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := buildToy(t)
+	s := c.Stats()
+	if s.Gates != 2 || s.DFFs != 1 || s.Inputs != 2 {
+		t.Fatalf("stats: %+v", s)
+	}
+	// Lines: 5 stems (a,b,q,g1,g2); no node has fanout > 1 in the toy.
+	if s.Lines != 5 {
+		t.Fatalf("lines = %d, want 5", s.Lines)
+	}
+	if !strings.Contains(s.String(), "toy") {
+		t.Fatalf("Stats.String: %q", s.String())
+	}
+}
+
+func TestInputAsOutputDirectly(t *testing.T) {
+	// A primary input may also be a primary output.
+	b := NewBuilder("io")
+	b.Input("i")
+	b.Gate("g", Not, "i")
+	b.Output("i")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	id, _ := c.Lookup("i")
+	if !c.IsPO(id) {
+		t.Fatal("input not marked as PO")
+	}
+}
+
+func TestGateBadType(t *testing.T) {
+	b := NewBuilder("bad")
+	b.Input("i")
+	b.Gate("g", Input, "i")
+	b.Output("g")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected error for Gate with non-gate type")
+	}
+}

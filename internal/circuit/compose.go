@@ -1,0 +1,61 @@
+package circuit
+
+import "fmt"
+
+// Compose stitches two circuits into one: primary output k of driver feeds
+// primary input k of load. The composed circuit keeps driver's primary
+// inputs as its inputs and load's primary outputs as its outputs; node names
+// are prefixed ("g_" for driver, "c_" for load) so the two namespaces cannot
+// collide. It is used to assemble a complete self-test chip model: the
+// synthesized test generator driving the circuit under test.
+func Compose(name string, driver, load *Circuit) (*Circuit, error) {
+	if len(driver.Outputs) != len(load.Inputs) {
+		return nil, fmt.Errorf("circuit: compose %s: driver has %d outputs, load has %d inputs",
+			name, len(driver.Outputs), len(load.Inputs))
+	}
+	b := NewBuilder(name)
+	dn := func(id NodeID) string { return "g_" + driver.Nodes[id].Name }
+	ln := func(id NodeID) string { return "c_" + load.Nodes[id].Name }
+
+	// Driver, verbatim under the g_ prefix.
+	for _, id := range driver.Inputs {
+		b.Input(dn(id))
+	}
+	for _, id := range driver.DFFs {
+		b.DFF(dn(id), dn(driver.Nodes[id].Fanins[0]))
+	}
+	for _, id := range driver.Order {
+		n := &driver.Nodes[id]
+		fanins := make([]string, len(n.Fanins))
+		for k, f := range n.Fanins {
+			fanins[k] = dn(f)
+		}
+		b.Gate(dn(id), n.Type, fanins...)
+	}
+
+	// Load: its primary inputs become buffers fed by the driver outputs.
+	for k, id := range load.Inputs {
+		b.Gate(ln(id), Buf, dn(driver.Outputs[k]))
+	}
+	for _, id := range load.DFFs {
+		b.DFF(ln(id), ln(load.Nodes[id].Fanins[0]))
+	}
+	for _, id := range load.Order {
+		n := &load.Nodes[id]
+		fanins := make([]string, len(n.Fanins))
+		for k, f := range n.Fanins {
+			fanins[k] = ln(f)
+		}
+		b.Gate(ln(id), n.Type, fanins...)
+	}
+	for _, id := range load.Outputs {
+		b.Output(ln(id))
+	}
+	return b.Build()
+}
+
+// LoadNodeID maps a node of the load circuit used in Compose to its id in
+// the composed circuit.
+func LoadNodeID(composed, load *Circuit, id NodeID) (NodeID, bool) {
+	return composed.Lookup("c_" + load.Nodes[id].Name)
+}

@@ -1,0 +1,109 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+)
+
+// driverLoad builds a 1-output driver (inverter) and a 1-input load
+// (buffer to output).
+func driverLoad(t *testing.T) (*Circuit, *Circuit) {
+	t.Helper()
+	d := NewBuilder("drv")
+	d.Input("a")
+	d.Gate("z", Not, "a")
+	d.Output("z")
+	drv, err := d.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewBuilder("ld")
+	l.Input("x")
+	l.DFF("q", "x")
+	l.Gate("y", Buf, "q")
+	l.Output("y")
+	load, err := l.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return drv, load
+}
+
+func TestComposeBasic(t *testing.T) {
+	drv, load := driverLoad(t)
+	comp, err := Compose("chip", drv, load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.NumInputs() != 1 || comp.NumOutputs() != 1 {
+		t.Fatalf("interface: %d in, %d out", comp.NumInputs(), comp.NumOutputs())
+	}
+	if comp.NumDFFs() != 1 {
+		t.Fatalf("DFFs: %d", comp.NumDFFs())
+	}
+	// Driver gate + load input buffer + load buffer gate.
+	if comp.NumGates() != 3 {
+		t.Fatalf("gates: %d", comp.NumGates())
+	}
+	// The load's input buffer must be fed by the driver's output.
+	cx, ok := comp.Lookup("c_x")
+	if !ok {
+		t.Fatal("c_x missing")
+	}
+	gz, _ := comp.Lookup("g_z")
+	if comp.Nodes[cx].Fanins[0] != gz {
+		t.Fatal("load input not wired to driver output")
+	}
+}
+
+func TestComposeWidthMismatch(t *testing.T) {
+	drv, _ := driverLoad(t)
+	l := NewBuilder("wide")
+	l.Input("x0")
+	l.Input("x1")
+	l.Gate("y", And, "x0", "x1")
+	l.Output("y")
+	load, err := l.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compose("bad", drv, load); err == nil ||
+		!strings.Contains(err.Error(), "outputs") {
+		t.Fatalf("width mismatch accepted: %v", err)
+	}
+}
+
+func TestLoadNodeID(t *testing.T) {
+	drv, load := driverLoad(t)
+	comp, err := Compose("chip", drv, load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := load.Lookup("q")
+	cid, ok := LoadNodeID(comp, load, q)
+	if !ok {
+		t.Fatal("LoadNodeID failed")
+	}
+	if comp.Nodes[cid].Name != "c_q" || comp.Nodes[cid].Type != DFF {
+		t.Fatalf("mapped to %s/%v", comp.Nodes[cid].Name, comp.Nodes[cid].Type)
+	}
+}
+
+func TestComposeSelfCollisionSafe(t *testing.T) {
+	// Composing a circuit with itself must not collide names.
+	d := NewBuilder("same")
+	d.Input("a")
+	d.Gate("z", Not, "a")
+	d.Output("z")
+	c1, err := d.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := Compose("twice", c1, c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.NumGates() != 3 { // g_z, c_a buffer, c_z
+		t.Fatalf("gates: %d", comp.NumGates())
+	}
+}

@@ -1,0 +1,8 @@
+package core
+
+import "repro/internal/logic"
+
+// aliases keeping property tests terse
+type logicV = logic.V
+
+func fromBool(b bool) logic.V { return logic.FromBit(b) }

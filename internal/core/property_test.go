@@ -1,0 +1,146 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/randutil"
+)
+
+func randomSub(rng *randutil.RNG, maxLen int) string {
+	n := 1 + rng.Intn(maxLen)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		if rng.Bool() {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// TestGenSequencePeriodicityProperty: for any assignment, T_G(u) equals
+// T_G(u + P) where P is the LCM-free per-input period len(α_i).
+func TestGenSequencePeriodicityProperty(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := randutil.New(seed)
+		n := 1 + rng.Intn(6)
+		a := Assignment{Subs: make([]string, n)}
+		for i := range a.Subs {
+			a.Subs[i] = randomSub(rng, 5)
+		}
+		const lg = 64
+		seq := a.GenSequence(lg)
+		for u := 0; u < lg; u++ {
+			for i := range a.Subs {
+				p := len(a.Subs[i])
+				if u+p < lg && seq.At(u, i) != seq.At(u+p, i) {
+					return false
+				}
+				if seq.At(u, i) != bitAt(a.Subs[i], u%p) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAccountingInvariants: for any set of assignments, the hardware
+// accounting obeys NumFSMs <= NumOutputs <= NumSubs and MaxLen bounds.
+func TestAccountingInvariants(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := randutil.New(seed)
+		nAsn := 1 + rng.Intn(6)
+		width := 1 + rng.Intn(5)
+		omega := make([]Assignment, nAsn)
+		for j := range omega {
+			subs := make([]string, width)
+			for i := range subs {
+				subs[i] = randomSub(rng, 6)
+			}
+			omega[j] = Assignment{Subs: subs}
+		}
+		st := Accounting(omega)
+		if st.NumSeqs != nAsn {
+			return false
+		}
+		if st.NumFSMs > st.NumOutputs || st.NumOutputs > st.NumSubs {
+			return false
+		}
+		if st.NumSubs > nAsn*width {
+			return false
+		}
+		for _, a := range omega {
+			if a.MaxLen() > st.MaxLen {
+				return false
+			}
+		}
+		return st.MaxLen >= 1 && st.NumFSMs >= 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeriveThenMatchProperty: a derived weight always perfectly matches and
+// any perfectly matching weight of the same length IS the derived one
+// (uniqueness of the Section 3 equation's solution).
+func TestDeriveWeightUniqueness(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := randutil.New(seed)
+		l := 4 + rng.Intn(12)
+		ti := make([]logicV, l)
+		for i := range ti {
+			ti[i] = fromBool(rng.Bool())
+		}
+		u := rng.Intn(l)
+		ls := 1 + rng.Intn(u+1)
+		alpha, ok := DeriveWeight(ti, u, ls)
+		if !ok {
+			return false
+		}
+		// Any other subsequence of the same length must fail PerfectMatch.
+		for mask := 0; mask < 1<<ls && ls <= 10; mask++ {
+			var b strings.Builder
+			for i := 0; i < ls; i++ {
+				if mask>>i&1 == 1 {
+					b.WriteByte('1')
+				} else {
+					b.WriteByte('0')
+				}
+			}
+			s := b.String()
+			if PerfectMatch(s, ti, u) != (s == alpha) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCountMatchesBounds: 0 <= n_m <= len(T).
+func TestCountMatchesBounds(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := randutil.New(seed)
+		l := 1 + rng.Intn(20)
+		ti := make([]logicV, l)
+		for i := range ti {
+			ti[i] = fromBool(rng.Bool())
+		}
+		alpha := randomSub(rng, 6)
+		n := CountMatches(alpha, ti)
+		return n >= 0 && n <= l
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,314 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/iscas"
+	"repro/internal/logic"
+	"repro/internal/sim"
+)
+
+// paperT returns the Table 1 test sequence of the paper.
+func paperT(t *testing.T) *sim.Sequence {
+	t.Helper()
+	seq, err := sim.ParseSequence(iscas.S27TestSequence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seq
+}
+
+// paperS is the weight set of Table 4: all subsequences of length <= 3 in
+// the paper's order.
+var paperS = []string{
+	"0", "1", "00", "10", "01", "11",
+	"000", "100", "010", "110", "001", "101", "011", "111",
+}
+
+func TestDeriveWeightPaperSection3Example(t *testing.T) {
+	// Section 3 example: s27, u = 8, L_S = 4.
+	// Input 0: subsequence of T_0 ending at 8 is 1100 -> α = 0110.
+	T := paperT(t)
+	alpha, ok := DeriveWeight(T.Input(0), 8, 4)
+	if !ok || alpha != "0110" {
+		t.Fatalf("DeriveWeight(T_0, 8, 4) = %q,%v want 0110", alpha, ok)
+	}
+	// Input 1: α = 0000.
+	alpha, ok = DeriveWeight(T.Input(1), 8, 4)
+	if !ok || alpha != "0000" {
+		t.Fatalf("DeriveWeight(T_1, 8, 4) = %q,%v want 0000", alpha, ok)
+	}
+	// Input 2: α = 0100.
+	alpha, ok = DeriveWeight(T.Input(2), 8, 4)
+	if !ok || alpha != "0100" {
+		t.Fatalf("DeriveWeight(T_2, 8, 4) = %q,%v want 0100", alpha, ok)
+	}
+	// Input 3: same as input 0.
+	alpha, ok = DeriveWeight(T.Input(3), 8, 4)
+	if !ok || alpha != "0110" {
+		t.Fatalf("DeriveWeight(T_3, 8, 4) = %q,%v want 0110", alpha, ok)
+	}
+}
+
+func TestDeriveWeightSection2Examples(t *testing.T) {
+	// Section 2: around u = 9, input 0: lengths 1, 2, 3 give 1, 01, 100.
+	T := paperT(t)
+	t0 := T.Input(0)
+	for _, c := range []struct {
+		ls   int
+		want string
+	}{{1, "1"}, {2, "01"}, {3, "100"}} {
+		alpha, ok := DeriveWeight(t0, 9, c.ls)
+		if !ok || alpha != c.want {
+			t.Errorf("DeriveWeight(T_0, 9, %d) = %q want %q", c.ls, alpha, c.want)
+		}
+	}
+}
+
+func TestDeriveWeightEdges(t *testing.T) {
+	ti := []logic.V{logic.Zero, logic.One}
+	if _, ok := DeriveWeight(ti, 1, 3); ok {
+		t.Error("window larger than u+1 must fail")
+	}
+	if _, ok := DeriveWeight(ti, 5, 1); ok {
+		t.Error("u beyond sequence must fail")
+	}
+	if _, ok := DeriveWeight(ti, 0, 0); ok {
+		t.Error("ls=0 must fail")
+	}
+	tx := []logic.V{logic.X, logic.One}
+	if _, ok := DeriveWeight(tx, 1, 2); ok {
+		t.Error("X in window must fail")
+	}
+	if a, ok := DeriveWeight(tx, 1, 1); !ok || a != "1" {
+		t.Error("X outside window must not matter")
+	}
+}
+
+func TestDeriveWeightReproducesWindow(t *testing.T) {
+	// Property: the derived α perfectly matches the window it was derived
+	// from, for random binary sequences.
+	f := func(bits []bool, uRaw, lsRaw uint8) bool {
+		if len(bits) == 0 {
+			return true
+		}
+		ti := make([]logic.V, len(bits))
+		for i, b := range bits {
+			ti[i] = logic.FromBit(b)
+		}
+		u := int(uRaw) % len(ti)
+		ls := 1 + int(lsRaw)%(u+1)
+		alpha, ok := DeriveWeight(ti, u, ls)
+		if !ok {
+			return false
+		}
+		return PerfectMatch(alpha, ti, u)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountMatchesPaperSection2(t *testing.T) {
+	T := paperT(t)
+	cases := []struct {
+		input int
+		alpha string
+		want  int
+	}{
+		{0, "1", 5}, {0, "01", 8}, {0, "100", 7},
+		{1, "0", 7}, {1, "00", 7}, {1, "000", 7},
+		{2, "100", 6}, {2, "01", 5}, {2, "1", 4},
+		{3, "1", 7}, {3, "100", 7}, {3, "01", 6},
+	}
+	for _, c := range cases {
+		if got := CountMatches(c.alpha, T.Input(c.input)); got != c.want {
+			t.Errorf("n_m(%q, T_%d) = %d, want %d", c.alpha, c.input, got, c.want)
+		}
+	}
+}
+
+func TestBuildAiReproducesPaperTable5(t *testing.T) {
+	// Table 5: the sets A_i for s27 with S of Table 4, u = 9, L_S = 3.
+	T := paperT(t)
+	want := [][]AiEntry{
+		{{4, "01", 8}, {7, "100", 7}, {1, "1", 5}},
+		{{0, "0", 7}, {2, "00", 7}, {6, "000", 7}},
+		{{7, "100", 6}, {4, "01", 5}, {1, "1", 4}},
+		{{1, "1", 7}, {7, "100", 7}, {4, "01", 6}},
+	}
+	for i := 0; i < 4; i++ {
+		got := BuildAi(paperS, T.Input(i), 9, 3)
+		if len(got) != len(want[i]) {
+			t.Fatalf("A_%d has %d entries, want %d: %v", i, len(got), len(want[i]), got)
+		}
+		for k := range got {
+			if got[k] != want[i][k] {
+				t.Errorf("A_%d[%d] = %+v, want %+v", i, k, got[k], want[i][k])
+			}
+		}
+	}
+}
+
+func TestGenSequenceReproducesPaperTable2(t *testing.T) {
+	// The best weight assignment of Section 2 is (01, 0, 100, 1); its
+	// generated sequence of length 12 is Table 2.
+	a := Assignment{Subs: []string{"01", "0", "100", "1"}}
+	got := a.GenSequence(12).String()
+	want := strings.Join([]string{
+		"0011", "1001", "0001", "1011", "0001", "1001",
+		"0011", "1001", "0001", "1011", "0001", "1001",
+	}, "\n")
+	if got != want {
+		t.Fatalf("T_G mismatch:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestPerfectMatchPaperExamples(t *testing.T) {
+	T := paperT(t)
+	// Section 2: 01 matches T_0 perfectly at time units 8 and 9.
+	if !PerfectMatch("01", T.Input(0), 9) {
+		t.Error("01 should perfectly match T_0 at u=9")
+	}
+	// 100 matches T_0 perfectly at 7..9.
+	if !PerfectMatch("100", T.Input(0), 9) {
+		t.Error("100 should perfectly match T_0 at u=9")
+	}
+	// 11 does not match T_0 at u=9 (T_0(8)=0).
+	if PerfectMatch("11", T.Input(0), 9) {
+		t.Error("11 should not match T_0 at u=9")
+	}
+	// Window out of range.
+	if PerfectMatch("0101010101010", T.Input(0), 9) {
+		t.Error("len-13 window cannot match at u=9")
+	}
+}
+
+func TestPrimitivePeriod(t *testing.T) {
+	cases := map[string]string{
+		"0":      "0",
+		"00":     "0",
+		"000":    "0",
+		"01":     "01",
+		"0101":   "01",
+		"010":    "010",
+		"100100": "100",
+		"1101":   "1101",
+		"111111": "1",
+	}
+	for in, want := range cases {
+		if got := PrimitivePeriod(in); got != want {
+			t.Errorf("PrimitivePeriod(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPrimitivePeriodProperty(t *testing.T) {
+	// The primitive period repeated produces the original subsequence's
+	// repetition.
+	f := func(bits []bool) bool {
+		if len(bits) == 0 || len(bits) > 24 {
+			return true
+		}
+		var b strings.Builder
+		for _, x := range bits {
+			if x {
+				b.WriteByte('1')
+			} else {
+				b.WriteByte('0')
+			}
+		}
+		alpha := b.String()
+		p := PrimitivePeriod(alpha)
+		for i := 0; i < 3*len(alpha); i++ {
+			if alpha[i%len(alpha)] != p[i%len(p)] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccountingTable3Style(t *testing.T) {
+	om := []Assignment{
+		{Subs: []string{"01", "0", "100", "1"}},
+		{Subs: []string{"100", "00", "01", "100"}},
+	}
+	st := Accounting(om)
+	if st.NumSeqs != 2 {
+		t.Errorf("NumSeqs = %d", st.NumSeqs)
+	}
+	// Distinct subs: 01, 0, 100, 1, 00 -> 5.
+	if st.NumSubs != 5 {
+		t.Errorf("NumSubs = %d, want 5", st.NumSubs)
+	}
+	if st.MaxLen != 3 {
+		t.Errorf("MaxLen = %d, want 3", st.MaxLen)
+	}
+	// Primitive: 01, 0, 100, 1 (00 -> 0). Lengths {1, 2, 3} -> 3 FSMs,
+	// 4 outputs.
+	if st.NumFSMs != 3 || st.NumOutputs != 4 {
+		t.Errorf("FSMs/outputs = %d/%d, want 3/4", st.NumFSMs, st.NumOutputs)
+	}
+}
+
+func TestWeightSet(t *testing.T) {
+	s := NewWeightSet()
+	if i := s.Add("01"); i != 0 {
+		t.Fatalf("first Add index %d", i)
+	}
+	if i := s.Add("0"); i != 1 {
+		t.Fatalf("second Add index %d", i)
+	}
+	if i := s.Add("01"); i != 0 {
+		t.Fatalf("duplicate Add index %d", i)
+	}
+	if s.Len() != 2 || !s.Contains("0") || s.Contains("00") {
+		t.Fatal("set state wrong")
+	}
+}
+
+func TestAssignmentHelpers(t *testing.T) {
+	a := Assignment{Subs: []string{"01", "0", "100", "1"}}
+	if a.MaxLen() != 3 {
+		t.Errorf("MaxLen = %d", a.MaxLen())
+	}
+	if !a.HasLen(2) || a.HasLen(4) {
+		t.Error("HasLen wrong")
+	}
+	if a.String() != "(01, 0, 100, 1)" {
+		t.Errorf("String = %q", a.String())
+	}
+	if err := a.Validate(4); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if err := a.Validate(3); err == nil {
+		t.Error("Validate accepted wrong width")
+	}
+	bad := Assignment{Subs: []string{"0a"}}
+	if err := bad.Validate(1); err == nil {
+		t.Error("Validate accepted non-binary")
+	}
+	empty := Assignment{Subs: []string{""}}
+	if err := empty.Validate(1); err == nil {
+		t.Error("Validate accepted empty subsequence")
+	}
+}
+
+func TestGenSequencePeriodicity(t *testing.T) {
+	a := Assignment{Subs: []string{"011", "10"}}
+	seq := a.GenSequence(12)
+	for u := 0; u < 12; u++ {
+		if seq.At(u, 0) != bitAt("011", u%3) {
+			t.Fatalf("input 0 time %d wrong", u)
+		}
+		if seq.At(u, 1) != bitAt("10", u%2) {
+			t.Fatalf("input 1 time %d wrong", u)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package expt
+
+import (
+	"testing"
+
+	"repro/internal/fsim"
+	"repro/internal/logic"
+	"repro/internal/sim"
+)
+
+func TestRunCircuitS27(t *testing.T) {
+	r, err := RunCircuit("s27", Config{LG: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Init != logic.X {
+		t.Fatal("s27 must run with unknown initial state")
+	}
+	if r.T.Len() != 10 {
+		t.Fatalf("s27 must use the paper's 10-vector sequence, got %d", r.T.Len())
+	}
+	if len(r.Targets) == 0 || len(r.Compacted) == 0 {
+		t.Fatal("pipeline produced nothing")
+	}
+	row := Table6(r)
+	if row.Circuit != "s27" || row.Len != 10 || row.Det != len(r.Targets) {
+		t.Fatalf("Table6 row wrong: %+v", row)
+	}
+	if row.Coverage != 1.0 {
+		t.Fatalf("coverage %.3f", row.Coverage)
+	}
+	if row.MaxLen >= row.Len {
+		t.Errorf("max subsequence length %d should be < |T| = %d", row.MaxLen, row.Len)
+	}
+	if row.FSMs > row.Subs {
+		t.Errorf("FSMs %d > subs %d", row.FSMs, row.Subs)
+	}
+}
+
+func TestRunCircuitMemoized(t *testing.T) {
+	a, err := RunCircuit("s27", Config{LG: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCircuit("s27", Config{LG: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("identical configs not memoized")
+	}
+	c, err := RunCircuit("s27", Config{LG: 99, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Fatal("different configs shared a run")
+	}
+}
+
+func TestRunCircuitUnknown(t *testing.T) {
+	if _, err := RunCircuit("nope", Config{}); err == nil {
+		t.Fatal("unknown circuit accepted")
+	}
+}
+
+func TestPipelineSyntheticWithGenerator(t *testing.T) {
+	r, err := RunCircuit("s298", Config{LG: 300, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Init != logic.Zero {
+		t.Fatal("synthetic circuits must use reset-to-0")
+	}
+	if r.Core.Coverage() != 1.0 {
+		t.Fatalf("procedure coverage %.3f", r.Core.Coverage())
+	}
+	// Verify the compacted omega covers all targets end to end.
+	lg := r.Config.LG
+	for _, dt := range r.DetTimes {
+		if dt+1 > lg {
+			lg = dt + 1
+		}
+	}
+	undet := make([]bool, len(r.Targets))
+	for i := range undet {
+		undet[i] = true
+	}
+	for _, a := range r.Compacted {
+		out := fsim.Run(r.Circuit, a.GenSequence(lg), r.Targets, fsim.Options{Init: r.Init})
+		for i := range r.Targets {
+			if out.Detected[i] {
+				undet[i] = false
+			}
+		}
+	}
+	for i, u := range undet {
+		if u {
+			t.Errorf("target %d not covered by compacted omega", i)
+		}
+	}
+	// The Figure 1 generator must synthesize.
+	g, err := SynthesizeGenerator(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumGates == 0 || g.Circuit.NumOutputs() != r.Circuit.NumInputs() {
+		t.Fatalf("generator malformed: %d gates, %d outputs", g.NumGates, g.Circuit.NumOutputs())
+	}
+}
+
+func TestObsExperimentIntegrates(t *testing.T) {
+	r, err := RunCircuit("s27", Config{LG: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := ObsExperiment(r)
+	if len(res.Rows) == 0 {
+		t.Fatal("no obs rows")
+	}
+	last := res.Rows[len(res.Rows)-1]
+	if last.FE != 100 || last.Obs != 0 {
+		t.Fatalf("last row %+v", last)
+	}
+}
+
+func TestInitFor(t *testing.T) {
+	if InitFor("s27") != logic.X {
+		t.Error("s27 init")
+	}
+	if InitFor("s298") != logic.Zero {
+		t.Error("synthetic init")
+	}
+	if InitFor("unknown") != logic.Zero {
+		t.Error("unknown defaults to zero")
+	}
+}
+
+func TestClearCache(t *testing.T) {
+	a, _ := RunCircuit("s27", Config{LG: 100, Seed: 1})
+	ClearCache()
+	b, _ := RunCircuit("s27", Config{LG: 100, Seed: 1})
+	if a == b {
+		t.Fatal("cache not cleared")
+	}
+}
+
+var _ = sim.NewSequence
+
+func TestPresetsForLargeCircuits(t *testing.T) {
+	p5378 := presetFor("s5378", Config{})
+	if p5378.ATPGRandomLen != 1024 || !p5378.ATPGNoCompaction {
+		t.Fatalf("s5378 preset wrong: %+v", p5378)
+	}
+	p35932 := presetFor("s35932", Config{})
+	if p35932.ATPGRandomLen != 320 || p35932.LG != 400 || !p35932.ATPGNoCompaction {
+		t.Fatalf("s35932 preset wrong: %+v", p35932)
+	}
+	// User-provided values win.
+	custom := presetFor("s5378", Config{ATPGRandomLen: 99})
+	if custom.ATPGRandomLen != 99 {
+		t.Fatal("preset overrode explicit value")
+	}
+	// Other circuits untouched.
+	plain := presetFor("s298", Config{})
+	if plain.ATPGRandomLen != 0 || plain.LG != 0 {
+		t.Fatalf("s298 got a preset: %+v", plain)
+	}
+}
+
+func TestRunCircuitHardUsesPresetSequence(t *testing.T) {
+	r, err := RunCircuit("cmphard", Config{LG: 300, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cmphard sequence is constructed, not searched: 4 + 18*(1+3) = 76.
+	if r.T.Len() != 76 {
+		t.Fatalf("cmphard |T| = %d, want 76", r.T.Len())
+	}
+	if r.Core.Coverage() != 1.0 {
+		t.Fatalf("cmphard coverage %.3f", r.Core.Coverage())
+	}
+}
+
+func TestConfigWithRandomWindows(t *testing.T) {
+	r, err := RunCircuit("s298", Config{LG: 300, Seed: 3, RandomWindows: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Core.RandomDetected == 0 {
+		t.Fatal("random window detected nothing")
+	}
+	g, err := SynthesizeGenerator(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.RandomWindows != 1 || g.LFSRWidth == 0 {
+		t.Fatalf("generator lacks the LFSR window: %+v", g)
+	}
+}

@@ -1,0 +1,77 @@
+package fault
+
+import "repro/internal/circuit"
+
+// CollapseDominance applies the classic checkpoint-style dominance reduction
+// on top of equivalence collapsing: for a gate with a controlling value c
+// and output inversion, the output fault s-a-(¬c ⊕ inv) dominates every
+// input fault s-a-¬c, so the output fault can be dropped whenever all the
+// gate's input faults are in the list (detecting any input s-a-¬c implies
+// detecting the dominated output fault).
+//
+// The reduction is sound for single-output combinational cones and is the
+// standard trade-off used by fault simulators to shrink the target list; the
+// undropped faults' coverage implies the dropped ones'. Like all dominance
+// reductions it slightly changes reported fault counts, so the experiment
+// pipeline uses plain equivalence collapsing and exposes this as an optional
+// further reduction.
+func CollapseDominance(c *circuit.Circuit, faults []Fault) []Fault {
+	index := make(map[Fault]bool, len(faults))
+	for _, f := range faults {
+		index[f] = true
+	}
+	drop := make(map[Fault]bool)
+	// inputFault mirrors the resolution rule of Collapse.
+	inputFault := func(id circuit.NodeID, pin int, v uint8) (Fault, bool) {
+		drv := c.Nodes[id].Fanins[pin]
+		var f Fault
+		if len(c.Nodes[drv].Fanouts) > 1 {
+			f = Fault{Node: id, Pin: pin, Stuck: v}
+		} else {
+			f = Fault{Node: drv, Pin: -1, Stuck: v}
+		}
+		return f, index[f]
+	}
+	for id := range c.Nodes {
+		n := &c.Nodes[id]
+		nid := circuit.NodeID(id)
+		var ctrl, domOut uint8
+		switch n.Type {
+		case circuit.And:
+			ctrl, domOut = 0, 1 // output s-a-1 dominated by any input s-a-1
+		case circuit.Nand:
+			ctrl, domOut = 0, 0
+		case circuit.Or:
+			ctrl, domOut = 1, 0
+		case circuit.Nor:
+			ctrl, domOut = 1, 1
+		default:
+			continue
+		}
+		// The dominated fault is output s-a-domOut; the dominators are the
+		// input faults s-a-(¬ctrl).
+		out := Fault{Node: nid, Pin: -1, Stuck: domOut}
+		if !index[out] || drop[out] {
+			continue
+		}
+		all := true
+		for pin := range n.Fanins {
+			f, ok := inputFault(nid, pin, 1-ctrl)
+			if !ok || drop[f] {
+				all = false
+				break
+			}
+			_ = f
+		}
+		if all {
+			drop[out] = true
+		}
+	}
+	var kept []Fault
+	for _, f := range faults {
+		if !drop[f] {
+			kept = append(kept, f)
+		}
+	}
+	return kept
+}

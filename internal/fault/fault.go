@@ -1,0 +1,170 @@
+// Package fault defines the single stuck-at fault model on gate-level
+// netlists: stem faults on every node output and branch faults on every gate
+// (and flip-flop) input pin whose driving line has fanout greater than one.
+// It also provides standard structural equivalence collapsing.
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+)
+
+// Fault is a single stuck-at fault.
+//
+// Pin == -1 places the fault on the output stem of Node. Pin >= 0 places it
+// on the Pin-th fanin branch of Node (only meaningful when that fanin's
+// driver has fanout > 1; branch faults on fanout-free lines are identical to
+// the driver's stem fault and are not enumerated).
+type Fault struct {
+	Node  circuit.NodeID
+	Pin   int
+	Stuck uint8 // 0 or 1
+}
+
+// String renders the fault using node names, e.g. "G11 s-a-0" or
+// "G8.in1(G6) s-a-1".
+func (f Fault) String(c *circuit.Circuit) string {
+	n := &c.Nodes[f.Node]
+	if f.Pin < 0 {
+		return fmt.Sprintf("%s s-a-%d", n.Name, f.Stuck)
+	}
+	return fmt.Sprintf("%s.in%d(%s) s-a-%d", n.Name, f.Pin, c.Nodes[n.Fanins[f.Pin]].Name, f.Stuck)
+}
+
+// Universe enumerates the full (uncollapsed) stuck-at fault list of c in a
+// deterministic order: for every node both stem faults, then for every node
+// with multi-fanout drivers both branch faults per such pin.
+func Universe(c *circuit.Circuit) []Fault {
+	var out []Fault
+	for id := range c.Nodes {
+		out = append(out,
+			Fault{Node: circuit.NodeID(id), Pin: -1, Stuck: 0},
+			Fault{Node: circuit.NodeID(id), Pin: -1, Stuck: 1})
+	}
+	for id := range c.Nodes {
+		n := &c.Nodes[id]
+		for pin, f := range n.Fanins {
+			if len(c.Nodes[f].Fanouts) > 1 {
+				out = append(out,
+					Fault{Node: circuit.NodeID(id), Pin: pin, Stuck: 0},
+					Fault{Node: circuit.NodeID(id), Pin: pin, Stuck: 1})
+			}
+		}
+	}
+	return out
+}
+
+// Collapse returns the equivalence-collapsed representatives of faults
+// (which must be the Universe order or a subset of it), using the classic
+// structural rules:
+//
+//	AND : any input s-a-0 ≡ output s-a-0      NAND: any input s-a-0 ≡ output s-a-1
+//	OR  : any input s-a-1 ≡ output s-a-1      NOR : any input s-a-1 ≡ output s-a-0
+//	BUF/DFF: input s-a-v ≡ output s-a-v       NOT : input s-a-v ≡ output s-a-¬v
+//
+// "Input s-a-v" means the branch fault on that pin when the driver has
+// fanout > 1, and the driver's stem fault otherwise.
+func Collapse(c *circuit.Circuit, faults []Fault) []Fault {
+	index := make(map[Fault]int, len(faults))
+	for i, f := range faults {
+		index[f] = i
+	}
+	parent := make([]int, len(faults))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return
+		}
+		// Keep the smaller index as representative so output order is stable.
+		if ra < rb {
+			parent[rb] = ra
+		} else {
+			parent[ra] = rb
+		}
+	}
+	// inputFault resolves "fault v on pin `pin` of node id" to the actual
+	// fault in the universe (branch fault or driver stem fault).
+	inputFault := func(id circuit.NodeID, pin int, v uint8) (int, bool) {
+		drv := c.Nodes[id].Fanins[pin]
+		var f Fault
+		if len(c.Nodes[drv].Fanouts) > 1 {
+			f = Fault{Node: id, Pin: pin, Stuck: v}
+		} else {
+			f = Fault{Node: drv, Pin: -1, Stuck: v}
+		}
+		i, ok := index[f]
+		return i, ok
+	}
+	outFault := func(id circuit.NodeID, v uint8) (int, bool) {
+		i, ok := index[Fault{Node: id, Pin: -1, Stuck: v}]
+		return i, ok
+	}
+	for id := range c.Nodes {
+		n := &c.Nodes[id]
+		nid := circuit.NodeID(id)
+		var ctrl, outv uint8
+		switch n.Type {
+		case circuit.And:
+			ctrl, outv = 0, 0
+		case circuit.Nand:
+			ctrl, outv = 0, 1
+		case circuit.Or:
+			ctrl, outv = 1, 1
+		case circuit.Nor:
+			ctrl, outv = 1, 0
+		case circuit.Buf, circuit.DFF:
+			for v := uint8(0); v <= 1; v++ {
+				if a, ok := inputFault(nid, 0, v); ok {
+					if b, ok := outFault(nid, v); ok {
+						union(a, b)
+					}
+				}
+			}
+			continue
+		case circuit.Not:
+			for v := uint8(0); v <= 1; v++ {
+				if a, ok := inputFault(nid, 0, v); ok {
+					if b, ok := outFault(nid, 1-v); ok {
+						union(a, b)
+					}
+				}
+			}
+			continue
+		default:
+			continue // Input, Xor, Xnor: no structural equivalences
+		}
+		ob, okOut := outFault(nid, outv)
+		if !okOut {
+			continue
+		}
+		for pin := range n.Fanins {
+			if a, ok := inputFault(nid, pin, ctrl); ok {
+				union(a, ob)
+			}
+		}
+	}
+	var reps []Fault
+	for i := range faults {
+		if find(i) == i {
+			reps = append(reps, faults[i])
+		}
+	}
+	return reps
+}
+
+// CollapsedUniverse is shorthand for Collapse(c, Universe(c)).
+func CollapsedUniverse(c *circuit.Circuit) []Fault {
+	return Collapse(c, Universe(c))
+}

@@ -1,0 +1,78 @@
+package fault
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/iscas"
+	"repro/internal/logic"
+	"repro/internal/sim"
+)
+
+// simParse and fsimRun keep the dominance test free of an import cycle with
+// package fsim by using a minimal scalar fault simulator local to the tests.
+func simParse() (*sim.Sequence, error) {
+	return sim.ParseSequence(iscas.S27TestSequence)
+}
+
+// fsimRun is a tiny scalar sequential fault simulator sufficient for the
+// dominance coverage-implication test.
+func fsimRun(c *circuit.Circuit, seq *sim.Sequence, faults []Fault) []bool {
+	det := make([]bool, len(faults))
+	good := trace(c, seq, nil)
+	for i := range faults {
+		bad := trace(c, seq, &faults[i])
+		for u := range good {
+			for _, id := range c.Outputs {
+				g, b := good[u][id], bad[u][id]
+				if g.IsBinary() && b.IsBinary() && g != b {
+					det[i] = true
+				}
+			}
+		}
+	}
+	return det
+}
+
+func trace(c *circuit.Circuit, seq *sim.Sequence, f *Fault) [][]logic.V {
+	v := make([]logic.V, len(c.Nodes))
+	state := make([]logic.V, len(c.DFFs))
+	for i := range state {
+		state[i] = logic.X
+	}
+	inject := func(id circuit.NodeID, x logic.V) logic.V {
+		if f != nil && f.Pin < 0 && f.Node == id {
+			return logic.V(f.Stuck)
+		}
+		return x
+	}
+	var out [][]logic.V
+	for u := 0; u < seq.Len(); u++ {
+		for k, id := range c.Inputs {
+			v[id] = inject(id, seq.At(u, k))
+		}
+		for k, id := range c.DFFs {
+			v[id] = inject(id, state[k])
+		}
+		for _, id := range c.Order {
+			n := &c.Nodes[id]
+			in := make([]logic.V, len(n.Fanins))
+			for k, fn := range n.Fanins {
+				in[k] = v[fn]
+				if f != nil && f.Pin == k && f.Node == id {
+					in[k] = logic.V(f.Stuck)
+				}
+			}
+			v[id] = inject(id, sim.Eval(n.Type, in))
+		}
+		snap := make([]logic.V, len(v))
+		copy(snap, v)
+		out = append(out, snap)
+		for k, id := range c.DFFs {
+			d := v[c.Nodes[id].Fanins[0]]
+			if f != nil && f.Node == id && f.Pin == 0 {
+				d = logic.V(f.Stuck)
+			}
+			state[k] = d
+		}
+	}
+	return out
+}

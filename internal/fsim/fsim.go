@@ -1,0 +1,433 @@
+// Package fsim implements a bit-parallel three-valued sequential fault
+// simulator. Faults are simulated in groups: slot 0 of every 64-bit dual-rail
+// word carries the fault-free machine and slots 1..63 carry up to 63 faulty
+// machines, so one pass over the gate list advances 64 machines at once.
+//
+// A fault is detected at time unit u if some primary output has a binary
+// fault-free value and the opposite binary value in the faulty machine
+// (logic.W.DiffMask). Optionally the simulator records, for every fault, the
+// set of *internal* nodes at which the faulty machine ever differs binarily
+// from the fault-free machine; that is the observability information used by
+// the observation-point insertion experiment (Section 5 of the paper).
+package fsim
+
+import (
+	"math/bits"
+
+	"repro/internal/circuit"
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/sim"
+)
+
+// GroupSize is the number of faulty machines per simulation pass.
+const GroupSize = 63
+
+// Options control a fault-simulation run.
+type Options struct {
+	// Init is the initial value of every flip-flop (logic.Zero for circuits
+	// with a global reset, logic.X for an unknown power-up state).
+	Init logic.V
+	// ObserveLines records, per fault, the set of nodes at which the faulty
+	// machine differs binarily from the fault-free machine at some time unit.
+	ObserveLines bool
+	// AbortAfterFirstGroupIfNone stops after the first fault group if that
+	// group produced no detection. Combined with an ordering that puts a
+	// target fault and a random sample first, this is the paper's Section 4.2
+	// simulation-effort reduction.
+	AbortAfterFirstGroupIfNone bool
+	// StopTime, if positive, truncates the sequence after this many time
+	// units.
+	StopTime int
+	// OutputHook, if non-nil, is invoked once per simulated time unit per
+	// fault group with the group's fault range [lo,hi) and the dual-rail
+	// primary-output words (slot 0 = fault-free machine, slot k = machine of
+	// faults[lo+k-1]). Response compactors (package misr) plug in here.
+	// Setting a hook disables the all-detected early exit so every group
+	// sees the full sequence.
+	OutputHook func(lo, hi, u int, po []logic.W)
+	// InitialStates, if non-nil, provides the starting flip-flop state of
+	// every fault group (index lo/GroupSize), as produced by a previous run
+	// with SaveStates over the *same fault list* (grouping must match). It
+	// overrides Init and lets a caller continue a simulation where an
+	// earlier sequence left off, paying only for the new vectors.
+	InitialStates [][]logic.W
+	// SaveStates records each group's final flip-flop state in
+	// Outcome.FinalStates (disabling the all-detected early exit so the
+	// state is exact).
+	SaveStates bool
+}
+
+// Outcome reports the result of a run over a fault list.
+type Outcome struct {
+	// Detected[i] reports whether faults[i] was detected.
+	Detected []bool
+	// DetTime[i] is the first time unit at which faults[i] was detected
+	// (-1 if undetected).
+	DetTime []int
+	// NumDetected is the number of detected faults.
+	NumDetected int
+	// Lines[i] is a bitset over node ids (only when ObserveLines was set):
+	// bit n set means the faulty machine for faults[i] differed binarily from
+	// the fault-free machine at node n at some time unit.
+	Lines []Bitset
+	// FinalStates[g] is group g's final flip-flop state (only when
+	// SaveStates was set).
+	FinalStates [][]logic.W
+	// Aborted reports that AbortAfterFirstGroupIfNone fired.
+	Aborted bool
+}
+
+// Bitset is a fixed-size bitset over node ids.
+type Bitset []uint64
+
+// NewBitset returns a bitset able to hold n bits.
+func NewBitset(n int) Bitset { return make(Bitset, (n+63)/64) }
+
+// Set sets bit i.
+func (b Bitset) Set(i int) { b[i/64] |= 1 << (uint(i) % 64) }
+
+// Get reports bit i.
+func (b Bitset) Get(i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
+
+// Count returns the number of set bits.
+func (b Bitset) Count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Simulator runs fault simulations over one circuit. It is cheap to create;
+// scratch buffers are reused across runs.
+type Simulator struct {
+	c    *circuit.Circuit
+	vals []logic.W
+	next []logic.W
+
+	// Flattened netlist (hot-loop friendly): for gate k in evaluation order,
+	// gateID[k] is its node id, gateType[k] its type, and its fanins are
+	// faninList[faninStart[k]:faninStart[k+1]].
+	gateID     []circuit.NodeID
+	gateType   []circuit.GateType
+	faninStart []int32
+	faninList  []circuit.NodeID
+
+	// per-group fault injection tables, rebuilt for each group
+	stemMask0 []uint64 // per node: slots forced to 0 at the node output
+	stemMask1 []uint64
+	// pinIdx[node] is -1 when the node has no pin faults in this group,
+	// otherwise an index into pinForces. A flat slice keeps the per-gate
+	// lookup in the hot loop branch-predictable and map-free.
+	pinIdx    []int32
+	pinNodes  []circuit.NodeID // nodes with pin faults (for cheap clearing)
+	pinForces [][]pinForce
+	poScratch []logic.W
+}
+
+type pinForce struct {
+	pin  int
+	mask uint64
+	bit  bool
+}
+
+// New returns a simulator for c.
+func New(c *circuit.Circuit) *Simulator {
+	s := &Simulator{
+		c:         c,
+		vals:      make([]logic.W, len(c.Nodes)),
+		next:      make([]logic.W, len(c.DFFs)),
+		stemMask0: make([]uint64, len(c.Nodes)),
+		stemMask1: make([]uint64, len(c.Nodes)),
+		pinIdx:    make([]int32, len(c.Nodes)),
+	}
+	for i := range s.pinIdx {
+		s.pinIdx[i] = -1
+	}
+	s.gateID = make([]circuit.NodeID, len(c.Order))
+	s.gateType = make([]circuit.GateType, len(c.Order))
+	s.faninStart = make([]int32, len(c.Order)+1)
+	for k, id := range c.Order {
+		n := &c.Nodes[id]
+		s.gateID[k] = id
+		s.gateType[k] = n.Type
+		s.faninStart[k+1] = s.faninStart[k] + int32(len(n.Fanins))
+		s.faninList = append(s.faninList, n.Fanins...)
+	}
+	return s
+}
+
+// Run fault-simulates seq against faults and returns the outcome.
+func Run(c *circuit.Circuit, seq *sim.Sequence, faults []fault.Fault, opts Options) *Outcome {
+	return New(c).Run(seq, faults, opts)
+}
+
+// Run fault-simulates seq against faults and returns the outcome.
+func (s *Simulator) Run(seq *sim.Sequence, faults []fault.Fault, opts Options) *Outcome {
+	out := &Outcome{
+		Detected: make([]bool, len(faults)),
+		DetTime:  make([]int, len(faults)),
+	}
+	for i := range out.DetTime {
+		out.DetTime[i] = -1
+	}
+	if opts.ObserveLines {
+		out.Lines = make([]Bitset, len(faults))
+		for i := range out.Lines {
+			out.Lines[i] = NewBitset(len(s.c.Nodes))
+		}
+	}
+	if opts.SaveStates {
+		out.FinalStates = make([][]logic.W, (len(faults)+GroupSize-1)/GroupSize)
+	}
+	stop := seq.Len()
+	if opts.StopTime > 0 && opts.StopTime < stop {
+		stop = opts.StopTime
+	}
+	for lo := 0; lo < len(faults); lo += GroupSize {
+		hi := lo + GroupSize
+		if hi > len(faults) {
+			hi = len(faults)
+		}
+		s.runGroup(seq, faults, lo, hi, stop, opts, out)
+		if opts.AbortAfterFirstGroupIfNone && lo == 0 && out.NumDetected == 0 {
+			out.Aborted = true
+			return out
+		}
+	}
+	return out
+}
+
+// runGroup simulates faults[lo:hi] (at most GroupSize of them) in slots
+// 1..hi-lo alongside the fault-free machine in slot 0.
+func (s *Simulator) runGroup(seq *sim.Sequence, faults []fault.Fault, lo, hi, stop int, opts Options, out *Outcome) {
+	c := s.c
+	// Build injection tables. Stem masks and pin indices are cleared only at
+	// the nodes touched by the previous group.
+	for i := range s.stemMask0 {
+		s.stemMask0[i] = 0
+		s.stemMask1[i] = 0
+	}
+	for _, n := range s.pinNodes {
+		s.pinIdx[n] = -1
+	}
+	s.pinNodes = s.pinNodes[:0]
+	s.pinForces = s.pinForces[:0]
+	for k := lo; k < hi; k++ {
+		f := faults[k]
+		slot := uint(k - lo + 1)
+		if f.Pin < 0 {
+			if f.Stuck == 0 {
+				s.stemMask0[f.Node] |= 1 << slot
+			} else {
+				s.stemMask1[f.Node] |= 1 << slot
+			}
+		} else {
+			idx := s.pinIdx[f.Node]
+			if idx < 0 {
+				idx = int32(len(s.pinForces))
+				s.pinIdx[f.Node] = idx
+				s.pinForces = append(s.pinForces, nil)
+				s.pinNodes = append(s.pinNodes, f.Node)
+			}
+			s.pinForces[idx] = append(s.pinForces[idx],
+				pinForce{pin: f.Pin, mask: 1 << slot, bit: f.Stuck == 1})
+		}
+	}
+
+	state := s.next
+	if opts.InitialStates != nil {
+		copy(state, opts.InitialStates[lo/GroupSize])
+	} else {
+		for i := range state {
+			state[i] = logic.Broadcast(opts.Init)
+		}
+	}
+	vals := s.vals
+
+	activeMask := groupMask(hi - lo) // slots still undetected
+	var fan [8]logic.W
+
+	for u := 0; u < stop; u++ {
+		for k, id := range c.Inputs {
+			vals[id] = s.inject(id, logic.Broadcast(seq.At(u, k)))
+		}
+		for k, id := range c.DFFs {
+			vals[id] = s.inject(id, state[k])
+		}
+		for k := range s.gateID {
+			id := s.gateID[k]
+			gt := s.gateType[k]
+			lo, hiF := s.faninStart[k], s.faninStart[k+1]
+			var w logic.W
+			// Fast paths for the dominant fault-free 1- and 2-input cases;
+			// the general path gathers into the scratch buffer.
+			if s.pinIdx[id] < 0 {
+				switch hiF - lo {
+				case 1:
+					w = eval1(gt, vals[s.faninList[lo]])
+				case 2:
+					w = eval2(gt, vals[s.faninList[lo]], vals[s.faninList[lo+1]])
+				default:
+					in := fan[:0]
+					for _, f := range s.faninList[lo:hiF] {
+						in = append(in, vals[f])
+					}
+					w = evalW(gt, in)
+				}
+			} else {
+				in := fan[:0]
+				for _, f := range s.faninList[lo:hiF] {
+					in = append(in, vals[f])
+				}
+				for _, p := range s.pinForces[s.pinIdx[id]] {
+					in[p.pin] = in[p.pin].ForceMask(p.mask, p.bit)
+				}
+				w = evalW(gt, in)
+			}
+			vals[id] = s.inject(id, w)
+		}
+		// Detection at primary outputs.
+		for _, id := range c.Outputs {
+			d := vals[id].DiffMask() & activeMask
+			for ; d != 0; d &= d - 1 {
+				slot := trailingZeros(d)
+				fi := lo + slot - 1
+				out.Detected[fi] = true
+				out.DetTime[fi] = u
+				out.NumDetected++
+				activeMask &^= 1 << uint(slot)
+			}
+		}
+		if opts.OutputHook != nil {
+			po := s.poScratch[:0]
+			for _, id := range c.Outputs {
+				po = append(po, vals[id])
+			}
+			s.poScratch = po
+			opts.OutputHook(lo, hi, u, po)
+		}
+		// Observability recording on every node.
+		if opts.ObserveLines {
+			for id := range vals {
+				d := vals[id].DiffMask()
+				for ; d != 0; d &= d - 1 {
+					slot := trailingZeros(d)
+					if slot == 0 {
+						continue
+					}
+					out.Lines[lo+slot-1].Set(id)
+				}
+			}
+		}
+		if activeMask == 0 && !opts.ObserveLines && opts.OutputHook == nil && !opts.SaveStates {
+			return // every fault in the group already detected
+		}
+		// Clock edge: next state, with DFF D-pin faults applied.
+		for k, id := range c.DFFs {
+			w := vals[c.Nodes[id].Fanins[0]]
+			if idx := s.pinIdx[id]; idx >= 0 {
+				for _, p := range s.pinForces[idx] {
+					w = w.ForceMask(p.mask, p.bit)
+				}
+			}
+			state[k] = w
+		}
+	}
+	if opts.SaveStates {
+		saved := make([]logic.W, len(state))
+		copy(saved, state)
+		out.FinalStates[lo/GroupSize] = saved
+	}
+}
+
+// inject applies the group's stem faults at node id.
+func (s *Simulator) inject(id circuit.NodeID, w logic.W) logic.W {
+	if m := s.stemMask0[id]; m != 0 {
+		w = w.ForceMask(m, false)
+	}
+	if m := s.stemMask1[id]; m != 0 {
+		w = w.ForceMask(m, true)
+	}
+	return w
+}
+
+func groupMask(n int) uint64 {
+	// slots 1..n
+	if n >= 63 {
+		return ^uint64(0) &^ 1
+	}
+	return ((uint64(1) << uint(n+1)) - 1) &^ 1
+}
+
+func trailingZeros(x uint64) int { return bits.TrailingZeros64(x) }
+
+// eval1 evaluates a 1-input gate.
+func eval1(t circuit.GateType, a logic.W) logic.W {
+	switch t {
+	case circuit.Not, circuit.Nand, circuit.Nor, circuit.Xnor:
+		return a.Not()
+	default:
+		return a
+	}
+}
+
+// eval2 evaluates a 2-input gate without touching the scratch buffer.
+func eval2(t circuit.GateType, a, b logic.W) logic.W {
+	switch t {
+	case circuit.And:
+		return a.And(b)
+	case circuit.Nand:
+		return a.And(b).Not()
+	case circuit.Or:
+		return a.Or(b)
+	case circuit.Nor:
+		return a.Or(b).Not()
+	case circuit.Xor:
+		return a.Xor(b)
+	case circuit.Xnor:
+		return a.Xor(b).Not()
+	default:
+		panic("fsim: eval2 on non-gate type")
+	}
+}
+
+// evalW evaluates a gate over dual-rail words.
+func evalW(t circuit.GateType, in []logic.W) logic.W {
+	switch t {
+	case circuit.Buf:
+		return in[0]
+	case circuit.Not:
+		return in[0].Not()
+	case circuit.And, circuit.Nand:
+		v := in[0]
+		for _, x := range in[1:] {
+			v = v.And(x)
+		}
+		if t == circuit.Nand {
+			v = v.Not()
+		}
+		return v
+	case circuit.Or, circuit.Nor:
+		v := in[0]
+		for _, x := range in[1:] {
+			v = v.Or(x)
+		}
+		if t == circuit.Nor {
+			v = v.Not()
+		}
+		return v
+	case circuit.Xor, circuit.Xnor:
+		v := in[0]
+		for _, x := range in[1:] {
+			v = v.Xor(x)
+		}
+		if t == circuit.Xnor {
+			v = v.Not()
+		}
+		return v
+	default:
+		panic("fsim: evalW on non-gate type")
+	}
+}

@@ -1,0 +1,273 @@
+package iscas
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/randutil"
+)
+
+// Generate builds a synthetic synchronous sequential circuit matching the
+// profile, deterministically from p.Seed. The construction aims for circuits
+// that behave like synthesized control/datapath logic rather than random
+// noise:
+//
+//   - gates draw fanins from nearby, earlier gates (locality bias) with a
+//     fraction coming straight from primary inputs and flip-flop outputs, so
+//     cones reconverge and depth grows slowly;
+//   - every primary input and flip-flop output feeds at least one gate;
+//   - every gate drives at least one gate, flip-flop or primary output (no
+//     dangling logic);
+//   - flip-flop next-state functions are taken from the deeper half of the
+//     network, so state feedback loops span real logic.
+func Generate(p Profile) (*circuit.Circuit, error) {
+	if p.Inputs < 1 || p.Outputs < 1 || p.Gates < 2 {
+		return nil, fmt.Errorf("iscas: profile %q too small (%d in, %d out, %d gates)",
+			p.Name, p.Inputs, p.Outputs, p.Gates)
+	}
+	if p.Gates < p.Inputs+p.DFFs {
+		return nil, fmt.Errorf("iscas: profile %q has fewer gates (%d) than sources (%d)",
+			p.Name, p.Gates, p.Inputs+p.DFFs)
+	}
+	if p.Outputs > p.Gates {
+		return nil, fmt.Errorf("iscas: profile %q has more outputs (%d) than gates (%d)",
+			p.Name, p.Outputs, p.Gates)
+	}
+	rng := randutil.New(p.Seed)
+
+	nSrc := p.Inputs + p.DFFs
+	srcName := func(k int) string {
+		if k < p.Inputs {
+			return fmt.Sprintf("I%d", k)
+		}
+		return fmt.Sprintf("F%d", k-p.Inputs)
+	}
+	gateName := func(k int) string { return fmt.Sprintf("N%d", k) }
+
+	type gate struct {
+		typ    circuit.GateType
+		fanins []string
+	}
+	gates := make([]gate, p.Gates)
+	// consumers[g] counts how many sinks gate g drives.
+	consumers := make([]int, p.Gates)
+
+	// pickGateFanin picks an earlier gate with a locality bias toward recent
+	// gates (geometric-ish window).
+	pickGateFanin := func(k int) int {
+		// Window of the previous gates, biased toward the closest quarter.
+		span := k
+		if span > 48 {
+			span = 48 + rng.Intn(k-47) // occasionally reach far back
+		}
+		d := 1 + rng.Intn(span)
+		return k - d
+	}
+
+	// The gate-type mix is XOR-rich: networks dominated by NAND/NOR drift
+	// toward constant signals under random stimulus (signal probabilities
+	// converge to 0/1 with depth), which makes most faults untestable. XOR
+	// gates preserve signal entropy and never mask fault effects, keeping the
+	// synthetic circuits as random-pattern-testable as the ISCAS-89 suite.
+	binaryTypes := []circuit.GateType{
+		circuit.Nand, circuit.Nand, circuit.Nor, circuit.Nor,
+		circuit.And, circuit.Or,
+		circuit.Xor, circuit.Xor, circuit.Xor, circuit.Xnor,
+	}
+
+	// The last p.DFFs gates are reserved as "state-mix" gates: gate
+	// Gates-DFFs+k is an XOR that combines a deep logic signal with the next
+	// flip-flop's output and drives flip-flop k's D input. The flip-flops
+	// therefore form a twisted ring with nonlinear injection — the shape of
+	// real control logic (counters, LFSRs, shifted state) — which keeps the
+	// state space active instead of collapsing to a fixed point.
+	mixBase := p.Gates - p.DFFs
+	if mixBase <= nSrc {
+		return nil, fmt.Errorf("iscas: profile %q too dense: %d gates for %d sources + %d mix gates",
+			p.Name, p.Gates, nSrc, p.DFFs)
+	}
+
+	for k := 0; k < p.Gates; k++ {
+		if k >= mixBase {
+			ff := k - mixBase
+			deep := mixBase/2 + rng.Intn(mixBase-mixBase/2)
+			gates[k] = gate{
+				typ:    circuit.Xor,
+				fanins: []string{gateName(deep), srcName(p.Inputs + (ff+1)%p.DFFs)},
+			}
+			consumers[deep]++
+			continue
+		}
+		var fanins []string
+		if k < nSrc {
+			// Guarantee every source is consumed.
+			fanins = append(fanins, srcName(k))
+		}
+		nf := 2
+		switch r := rng.Intn(10); {
+		case r < 1:
+			nf = 1
+		case r < 9:
+			nf = 2
+		default:
+			nf = 3
+		}
+		if k == 0 {
+			nf = 1 // no earlier gate to connect to
+		}
+		seen := map[string]bool{}
+		for _, f := range fanins {
+			seen[f] = true
+		}
+		for len(fanins) < nf {
+			var cand string
+			if k == 0 || rng.Intn(100) < 30 {
+				cand = srcName(rng.Intn(nSrc))
+			} else {
+				g := pickGateFanin(k)
+				cand = gateName(g)
+			}
+			if seen[cand] {
+				// Duplicate fanin: for small k the pool is tiny, so accept a
+				// reduced fanin count rather than looping forever.
+				if k < 4 {
+					break
+				}
+				continue
+			}
+			seen[cand] = true
+			fanins = append(fanins, cand)
+		}
+		var typ circuit.GateType
+		if len(fanins) == 1 {
+			if rng.Intn(4) == 0 {
+				typ = circuit.Buf
+			} else {
+				typ = circuit.Not
+			}
+		} else {
+			typ = binaryTypes[rng.Intn(len(binaryTypes))]
+		}
+		gates[k] = gate{typ: typ, fanins: fanins}
+		for _, f := range fanins {
+			if g, ok := parseGateName(f); ok {
+				consumers[g]++
+			}
+		}
+	}
+
+	// Flip-flop k is driven by its reserved state-mix gate.
+	ffD := make([]int, p.DFFs)
+	for k := 0; k < p.DFFs; k++ {
+		ffD[k] = mixBase + k
+		consumers[mixBase+k]++
+	}
+
+	// Primary outputs: distinct non-mix gates, biased toward the deep half.
+	lo := mixBase / 2
+	po := make([]int, 0, p.Outputs)
+	usedPO := map[int]bool{}
+	for len(po) < p.Outputs {
+		var g int
+		if rng.Intn(4) == 0 {
+			g = rng.Intn(mixBase)
+		} else {
+			g = lo + rng.Intn(mixBase-lo)
+		}
+		if usedPO[g] {
+			// Dense PO profiles (s35932 has POs on 2% of gates) still
+			// terminate: fall back to a linear scan.
+			for usedPO[g] {
+				g = (g + 1) % mixBase
+			}
+		}
+		usedPO[g] = true
+		po = append(po, g)
+		consumers[g]++
+	}
+
+	// Fanout fix-up: attach every dangling gate to a later AND/NAND/OR/NOR
+	// gate with spare fanin capacity. Attaching only ever adds consumers, so
+	// a single low-to-high pass suffices for gates fixed that way; the rare
+	// tail gate with no extendable successor becomes an extra primary output,
+	// which never orphans anything either.
+	for g := 0; g < p.Gates; g++ {
+		if consumers[g] > 0 {
+			continue
+		}
+		attached := false
+		for tries := 0; tries < 64 && !attached && g+1 < p.Gates; tries++ {
+			t := g + 1 + rng.Intn(p.Gates-g-1)
+			gt := &gates[t]
+			if !extendable(gt.typ) || len(gt.fanins) >= 4 || contains(gt.fanins, gateName(g)) {
+				continue
+			}
+			gt.fanins = append(gt.fanins, gateName(g))
+			consumers[g]++
+			attached = true
+		}
+		if !attached {
+			// Deterministic fallback: scan forward for any extendable gate.
+			for t := g + 1; t < p.Gates && !attached; t++ {
+				gt := &gates[t]
+				if extendable(gt.typ) && len(gt.fanins) < 6 && !contains(gt.fanins, gateName(g)) {
+					gt.fanins = append(gt.fanins, gateName(g))
+					consumers[g]++
+					attached = true
+				}
+			}
+		}
+		if !attached {
+			po = append(po, g)
+			consumers[g]++
+		}
+	}
+
+	b := circuit.NewBuilder(p.Name)
+	for i := 0; i < p.Inputs; i++ {
+		b.Input(fmt.Sprintf("I%d", i))
+	}
+	for k := 0; k < p.DFFs; k++ {
+		b.DFF(fmt.Sprintf("F%d", k), gateName(ffD[k]))
+	}
+	for k, g := range gates {
+		b.Gate(gateName(k), g.typ, g.fanins...)
+	}
+	for _, g := range po {
+		b.Output(gateName(g))
+	}
+	return b.Build()
+}
+
+func parseGateName(s string) (int, bool) {
+	if len(s) < 2 || s[0] != 'N' {
+		return 0, false
+	}
+	n := 0
+	for i := 1; i < len(s); i++ {
+		c := s[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, true
+}
+
+func extendable(t circuit.GateType) bool {
+	switch t {
+	case circuit.And, circuit.Nand, circuit.Or, circuit.Nor:
+		return true
+	default:
+		return false
+	}
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

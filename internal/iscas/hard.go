@@ -1,0 +1,141 @@
+package iscas
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/logic"
+	"repro/internal/randutil"
+	"repro/internal/sim"
+)
+
+// HardName is the name of the random-pattern-resistant circuit below.
+const HardName = "cmphard"
+
+// hardMagic is the 16-bit comparator constant of cmphard.
+const hardMagic = 0xA5C3
+
+// HardCircuit builds a deliberately random-pattern-resistant sequential
+// circuit: a 16-bit equality comparator against the constant 0xA5C3 gates a
+// 4-bit match counter, so every fault in the counter and deep comparator
+// cone needs one-or-more exact matches (probability 2^-16 per random
+// vector) to be excited. This is the classic structure that defeats
+// pseudo-random BIST and motivates weighted schemes; the deterministic test
+// sequence for it is constructed analytically by HardSequence, mirroring how
+// the paper's deterministic ATPG sequences exercise random-resistant logic.
+//
+// Interface: 17 inputs (x0..x15, en), 6 outputs, 4 flip-flops, and a small
+// pseudo-random side network so the fault list is not dominated by the
+// comparator alone.
+func HardCircuit() (*circuit.Circuit, error) {
+	b := circuit.NewBuilder(HardName)
+	for i := 0; i < 16; i++ {
+		b.Input(name("x", i))
+	}
+	b.Input("en")
+
+	// Comparator: lit_i = x_i or NOT x_i per the magic constant, AND-tree.
+	for i := 0; i < 16; i++ {
+		if hardMagic>>i&1 == 1 {
+			b.Gate(name("lit", i), circuit.Buf, name("x", i))
+		} else {
+			b.Gate(name("lit", i), circuit.Not, name("x", i))
+		}
+	}
+	for i := 0; i < 8; i++ {
+		b.Gate(name("c1_", i), circuit.And, name("lit", 2*i), name("lit", 2*i+1))
+	}
+	for i := 0; i < 4; i++ {
+		b.Gate(name("c2_", i), circuit.And, name("c1_", 2*i), name("c1_", 2*i+1))
+	}
+	b.Gate("c3_0", circuit.And, "c2_0", "c2_1")
+	b.Gate("c3_1", circuit.And, "c2_2", "c2_3")
+	b.Gate("match0", circuit.And, "c3_0", "c3_1")
+	b.Gate("match", circuit.And, "match0", "en")
+
+	// 4-bit match counter: ripple-carry increment gated by match.
+	carry := "match"
+	for i := 0; i < 4; i++ {
+		q := name("q", i)
+		b.DFF(q, name("d", i))
+		b.Gate(name("d", i), circuit.Xor, q, carry)
+		if i < 3 {
+			nc := name("cy", i)
+			b.Gate(nc, circuit.And, carry, q)
+			carry = nc
+		}
+	}
+
+	// Side network: keeps non-comparator faults plentiful and observable.
+	b.Gate("s0", circuit.Xor, "x0", "x5")
+	b.Gate("s1", circuit.Nand, "x9", "x12")
+	b.Gate("s2", circuit.Nor, "s0", "x3")
+	b.Gate("s3", circuit.Xor, "s1", "s2")
+	b.Gate("s4", circuit.And, "s3", "en")
+
+	// Outputs: counter bits (via buffers), the match line, the side network.
+	for i := 0; i < 4; i++ {
+		b.Gate(name("po_q", i), circuit.Buf, name("q", i))
+		b.Output(name("po_q", i))
+	}
+	b.Gate("po_match", circuit.Buf, "match")
+	b.Output("po_match")
+	b.Output("s4")
+	return b.Build()
+}
+
+// HardSequence constructs the deterministic test sequence for HardCircuit
+// analytically: pseudo-random filler vectors interleaved with exact-match
+// vectors (the magic constant with en=1), enough matches to step the counter
+// through all 16 states and back. It plays the role of the paper's
+// deterministic ATPG sequence, which finds exactly such magic values by
+// branch-and-bound search.
+func HardSequence(seed uint64) *sim.Sequence {
+	rng := randutil.New(seed)
+	seq := sim.NewSequence(17)
+	vec := make([]logic.V, 17)
+	appendRandom := func(n int) {
+		for k := 0; k < n; k++ {
+			for i := range vec {
+				vec[i] = logic.FromBit(rng.Bool())
+			}
+			// Avoid accidental matches so detection times stay attributable
+			// to the planted vectors: flip one magic bit.
+			if isMagic(vec) {
+				vec[0] = vec[0].Not()
+			}
+			seq.Append(vec)
+		}
+	}
+	appendMatch := func() {
+		for i := 0; i < 16; i++ {
+			vec[i] = logic.FromBit(hardMagic>>i&1 == 1)
+		}
+		vec[16] = logic.One
+		seq.Append(vec)
+	}
+	appendRandom(4)
+	// 18 matches walk the counter through a full wrap plus two steps.
+	for m := 0; m < 18; m++ {
+		appendMatch()
+		appendRandom(3)
+	}
+	return seq
+}
+
+func isMagic(vec []logic.V) bool {
+	for i := 0; i < 16; i++ {
+		want := logic.FromBit(hardMagic>>i&1 == 1)
+		if vec[i] != want {
+			return false
+		}
+	}
+	return vec[16] == logic.One
+}
+
+func name(prefix string, i int) string {
+	buf := []byte(prefix)
+	if i >= 10 {
+		buf = append(buf, byte('0'+i/10))
+	}
+	buf = append(buf, byte('0'+i%10))
+	return string(buf)
+}

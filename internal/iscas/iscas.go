@@ -1,0 +1,145 @@
+// Package iscas provides the circuit suite used by the experiments.
+//
+// The s27 benchmark is reproduced exactly from the published ISCAS-89
+// netlist (it is the worked example in Section 2 of the paper). The larger
+// ISCAS-89 circuits are not redistributable inside this repository, so for
+// every other circuit in the paper's tables this package generates a
+// synthetic synchronous sequential circuit with the same primary-input /
+// primary-output / flip-flop / gate-count profile, deterministically from a
+// fixed seed (see DESIGN.md, "Substitutions"). All algorithms under test
+// consume only the netlist, so they exercise identical code paths.
+package iscas
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/circuit"
+)
+
+// S27Bench is the exact ISCAS-89 s27 netlist.
+const S27Bench = `# s27
+# 4 inputs, 1 output, 3 D-type flipflops, 10 gates
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+`
+
+// S27TestSequence is the deterministic test sequence of Table 1 of the paper
+// (inputs in the order G0, G1, G2, G3).
+const S27TestSequence = `0111
+1001
+0111
+1001
+0100
+1011
+1001
+0000
+0000
+1011`
+
+// Profile describes the interface and size of a circuit in the suite.
+type Profile struct {
+	Name    string
+	Inputs  int
+	Outputs int
+	DFFs    int
+	Gates   int
+	Seed    uint64
+	// Synthetic is false only for circuits embedded verbatim (s27).
+	Synthetic bool
+}
+
+// profiles lists the circuits of the paper's Table 6 in table order, with
+// interface sizes matching the corresponding ISCAS-89 circuits.
+var profiles = []Profile{
+	{Name: "s27", Inputs: 4, Outputs: 1, DFFs: 3, Gates: 10, Synthetic: false},
+	{Name: "s208", Inputs: 10, Outputs: 1, DFFs: 8, Gates: 104, Seed: 10208, Synthetic: true},
+	{Name: "s298", Inputs: 3, Outputs: 6, DFFs: 14, Gates: 119, Seed: 10298, Synthetic: true},
+	{Name: "s344", Inputs: 9, Outputs: 11, DFFs: 15, Gates: 160, Seed: 10344, Synthetic: true},
+	{Name: "s382", Inputs: 3, Outputs: 6, DFFs: 21, Gates: 158, Seed: 10382, Synthetic: true},
+	{Name: "s386", Inputs: 7, Outputs: 7, DFFs: 6, Gates: 159, Seed: 10386, Synthetic: true},
+	{Name: "s400", Inputs: 3, Outputs: 6, DFFs: 21, Gates: 162, Seed: 10400, Synthetic: true},
+	{Name: "s420", Inputs: 18, Outputs: 1, DFFs: 16, Gates: 218, Seed: 10420, Synthetic: true},
+	{Name: "s444", Inputs: 3, Outputs: 6, DFFs: 21, Gates: 181, Seed: 10444, Synthetic: true},
+	{Name: "s526", Inputs: 3, Outputs: 6, DFFs: 21, Gates: 193, Seed: 10526, Synthetic: true},
+	{Name: "s641", Inputs: 35, Outputs: 24, DFFs: 19, Gates: 379, Seed: 10641, Synthetic: true},
+	{Name: "s820", Inputs: 18, Outputs: 19, DFFs: 5, Gates: 289, Seed: 10820, Synthetic: true},
+	{Name: "s1196", Inputs: 14, Outputs: 14, DFFs: 18, Gates: 529, Seed: 11196, Synthetic: true},
+	{Name: "s1423", Inputs: 17, Outputs: 5, DFFs: 74, Gates: 657, Seed: 11423, Synthetic: true},
+	{Name: "s1488", Inputs: 8, Outputs: 19, DFFs: 6, Gates: 653, Seed: 11488, Synthetic: true},
+	{Name: "s5378", Inputs: 35, Outputs: 49, DFFs: 179, Gates: 2779, Seed: 15378, Synthetic: true},
+	{Name: "s35932", Inputs: 35, Outputs: 320, DFFs: 1728, Gates: 16065, Seed: 35932, Synthetic: true},
+}
+
+// Names returns the suite circuit names in the paper's table order.
+func Names() []string {
+	out := make([]string, len(profiles))
+	for i, p := range profiles {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// Table6Names returns the circuits reported in Table 6 (everything but s27).
+func Table6Names() []string { return Names()[1:] }
+
+// ObsTableNames returns the circuits of Tables 7-16, in table order.
+func ObsTableNames() []string {
+	return []string{"s208", "s298", "s344", "s386", "s400", "s420", "s526", "s641", "s1423", "s5378"}
+}
+
+// LookupProfile returns the profile for a suite circuit.
+func LookupProfile(name string) (Profile, bool) {
+	for _, p := range profiles {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// Load builds a suite circuit by name.
+func Load(name string) (*circuit.Circuit, error) {
+	if name == HardName {
+		return HardCircuit()
+	}
+	p, ok := LookupProfile(name)
+	if !ok {
+		names := Names()
+		sort.Strings(names)
+		return nil, fmt.Errorf("iscas: unknown circuit %q (have %s)", name, strings.Join(names, ", "))
+	}
+	if !p.Synthetic {
+		return bench.Parse(p.Name, strings.NewReader(S27Bench))
+	}
+	return Generate(p)
+}
+
+// MustLoad is Load, panicking on error; the suite is static so failure is a
+// programming error.
+func MustLoad(name string) *circuit.Circuit {
+	c, err := Load(name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

@@ -1,0 +1,167 @@
+// Package lfsr implements maximal-length linear feedback shift registers
+// used as the pseudo-random pattern source of the BIST baselines the paper
+// compares against (pure pseudo-random testing, and the 3-weight scheme of
+// reference [10] which gates pseudo-random bits).
+package lfsr
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/logic"
+	"repro/internal/sim"
+)
+
+// taps lists, per register width, the feedback tap positions (1-indexed,
+// tap t reads state bit t-1) of a maximal-length LFSR. Source: the standard
+// XAPP052 table of primitive-polynomial taps.
+var taps = map[int][]int{
+	3:  {3, 2},
+	4:  {4, 3},
+	5:  {5, 3},
+	6:  {6, 5},
+	7:  {7, 6},
+	8:  {8, 6, 5, 4},
+	9:  {9, 5},
+	10: {10, 7},
+	11: {11, 9},
+	12: {12, 6, 4, 1},
+	13: {13, 4, 3, 1},
+	14: {14, 5, 3, 1},
+	15: {15, 14},
+	16: {16, 15, 13, 4},
+	17: {17, 14},
+	18: {18, 11},
+	19: {19, 6, 2, 1},
+	20: {20, 17},
+	21: {21, 19},
+	22: {22, 21},
+	23: {23, 18},
+	24: {24, 23, 22, 17},
+}
+
+// LFSR is a Fibonacci linear feedback shift register (shift-left form: the
+// new bit, the XOR — or XNOR — of the taps, enters at bit 0).
+type LFSR struct {
+	width int
+	tap   uint64 // mask over state bits
+	state uint64
+	xnor  bool
+}
+
+// Taps returns the 1-indexed feedback tap positions for a supported width.
+func Taps(width int) ([]int, bool) {
+	t, ok := taps[width]
+	return t, ok
+}
+
+func tapMask(width int) (uint64, error) {
+	positions, ok := taps[width]
+	if !ok {
+		return 0, fmt.Errorf("lfsr: unsupported width %d (have 3..24)", width)
+	}
+	var mask uint64
+	for _, t := range positions {
+		mask |= 1 << (t - 1)
+	}
+	return mask, nil
+}
+
+// New returns a width-bit XOR-feedback LFSR seeded with seed (0 is replaced
+// by 1, the all-zero state being the lock-up state). Widths 3..24 are
+// supported.
+func New(width int, seed uint64) (*LFSR, error) {
+	mask, err := tapMask(width)
+	if err != nil {
+		return nil, err
+	}
+	state := seed & ((1 << width) - 1)
+	if state == 0 {
+		state = 1
+	}
+	return &LFSR{width: width, tap: mask, state: state}, nil
+}
+
+// NewXNOR returns a width-bit XNOR-feedback LFSR starting from the all-zero
+// state. For XNOR feedback the all-zero state is a regular sequence state
+// (the lock-up state is all-ones), so hardware that resets its flip-flops to
+// 0 realises exactly this sequence — which is why the on-chip random-weight
+// source uses this variant.
+func NewXNOR(width int) (*LFSR, error) {
+	mask, err := tapMask(width)
+	if err != nil {
+		return nil, err
+	}
+	return &LFSR{width: width, tap: mask, xnor: true}, nil
+}
+
+// Step advances one cycle and returns the output bit (the bit shifted out of
+// the top stage).
+func (l *LFSR) Step() bool {
+	out := l.state>>(l.width-1)&1 != 0
+	fb := uint64(bits.OnesCount64(l.state&l.tap) & 1)
+	if l.xnor {
+		fb ^= 1
+	}
+	l.state = (l.state<<1 | fb) & ((1 << l.width) - 1)
+	return out
+}
+
+// Bit returns the current value of stage s (0-indexed).
+func (l *LFSR) Bit(s int) bool { return l.state>>uint(s)&1 != 0 }
+
+// ParallelSequence generates n vectors by reading the register stages in
+// parallel (input i = stage i mod width) and clocking once per time unit —
+// the arrangement of an on-chip LFSR whose stages fan out to the circuit
+// inputs. The register keeps its state across calls, so consecutive windows
+// continue the sequence like free-running hardware.
+func (l *LFSR) ParallelSequence(numInputs, n int) *sim.Sequence {
+	seq := sim.NewSequence(numInputs)
+	vec := make([]logic.V, numInputs)
+	for u := 0; u < n; u++ {
+		for i := range vec {
+			vec[i] = logic.FromBit(l.Bit(i % l.width))
+		}
+		seq.Append(vec)
+		l.Step()
+	}
+	return seq
+}
+
+// RandomSourceWidth returns the register width used for the on-chip random
+// source of a circuit with the given input count: wide enough to give every
+// input its own stage when possible, clamped to the supported 8..24 range.
+func RandomSourceWidth(numInputs int) int {
+	w := numInputs
+	if w < 8 {
+		w = 8
+	}
+	if w > 24 {
+		w = 24
+	}
+	return w
+}
+
+// State returns the current register contents.
+func (l *LFSR) State() uint64 { return l.state }
+
+// Width returns the register width.
+func (l *LFSR) Width() int { return l.width }
+
+// Period returns the sequence period (2^width - 1 for a maximal LFSR).
+func (l *LFSR) Period() int { return 1<<l.width - 1 }
+
+// Sequence generates a test sequence of length n for numInputs inputs by
+// clocking the LFSR once per input bit per time unit (the usual serial
+// BIST arrangement).
+func (l *LFSR) Sequence(numInputs, n int) *sim.Sequence {
+	seq := sim.NewSequence(numInputs)
+	vec := make([]logic.V, numInputs)
+	for u := 0; u < n; u++ {
+		for i := range vec {
+			vec[i] = logic.FromBit(l.Step())
+		}
+		seq.Append(vec)
+	}
+	return seq
+}

@@ -1,0 +1,178 @@
+package lfsr
+
+import "testing"
+
+func TestMaximalPeriods(t *testing.T) {
+	// Every supported width must realise the maximal period 2^w - 1.
+	for w := 3; w <= 16; w++ {
+		l, err := New(w, 1)
+		if err != nil {
+			t.Fatalf("width %d: %v", w, err)
+		}
+		start := l.State()
+		period := 0
+		for {
+			l.Step()
+			period++
+			if l.State() == start {
+				break
+			}
+			if period > 1<<w {
+				t.Fatalf("width %d: no period found within 2^%d steps", w, w)
+			}
+		}
+		if period != 1<<w-1 {
+			t.Errorf("width %d: period %d, want %d", w, period, 1<<w-1)
+		}
+	}
+}
+
+func TestZeroSeedReplaced(t *testing.T) {
+	l, err := New(8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.State() == 0 {
+		t.Fatal("zero state accepted (lock-up)")
+	}
+}
+
+func TestUnsupportedWidth(t *testing.T) {
+	if _, err := New(2, 1); err == nil {
+		t.Error("width 2 accepted")
+	}
+	if _, err := New(64, 1); err == nil {
+		t.Error("width 64 accepted")
+	}
+}
+
+func TestSequenceShapeAndBalance(t *testing.T) {
+	l, err := New(16, 0xACE1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := l.Sequence(5, 4000)
+	if seq.Len() != 4000 || seq.NumInputs != 5 {
+		t.Fatalf("shape %dx%d", seq.Len(), seq.NumInputs)
+	}
+	ones := 0
+	for _, v := range seq.Vecs {
+		for _, b := range v {
+			if !b.IsBinary() {
+				t.Fatal("LFSR emitted X")
+			}
+			if b.String() == "1" {
+				ones++
+			}
+		}
+	}
+	total := 4000 * 5
+	if ones < total*45/100 || ones > total*55/100 {
+		t.Fatalf("bias: %d/%d ones", ones, total)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	l, _ := New(10, 3)
+	if l.Width() != 10 || l.Period() != 1023 {
+		t.Fatalf("accessors wrong: %d %d", l.Width(), l.Period())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _ := New(12, 99)
+	b, _ := New(12, 99)
+	for i := 0; i < 1000; i++ {
+		if a.Step() != b.Step() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestXNORMaximalPeriodFromZero(t *testing.T) {
+	for w := 3; w <= 14; w++ {
+		l, err := NewXNOR(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.State() != 0 {
+			t.Fatalf("width %d: XNOR LFSR must start at 0", w)
+		}
+		period := 0
+		for {
+			l.Step()
+			period++
+			if l.State() == 0 {
+				break
+			}
+			if l.State() == (uint64(1)<<w)-1 {
+				t.Fatalf("width %d: reached the all-ones lock-up state", w)
+			}
+			if period > 1<<w {
+				t.Fatalf("width %d: no period within 2^%d steps", w, w)
+			}
+		}
+		if period != 1<<w-1 {
+			t.Errorf("width %d: XNOR period %d, want %d", w, period, 1<<w-1)
+		}
+	}
+}
+
+func TestParallelSequenceContinuity(t *testing.T) {
+	// Two windows from one register must equal one window of double length
+	// from a fresh register.
+	a, _ := NewXNOR(9)
+	w1 := a.ParallelSequence(5, 20)
+	w2 := a.ParallelSequence(5, 20)
+	b, _ := NewXNOR(9)
+	full := b.ParallelSequence(5, 40)
+	for u := 0; u < 20; u++ {
+		for i := 0; i < 5; i++ {
+			if w1.At(u, i) != full.At(u, i) || w2.At(u, i) != full.At(u+20, i) {
+				t.Fatalf("windowed sequence diverges at u=%d i=%d", u, i)
+			}
+		}
+	}
+}
+
+func TestParallelSequenceFolding(t *testing.T) {
+	// More inputs than stages: input i mirrors stage i mod width.
+	l, _ := NewXNOR(8)
+	seq := l.ParallelSequence(11, 30)
+	for u := 0; u < 30; u++ {
+		for i := 8; i < 11; i++ {
+			if seq.At(u, i) != seq.At(u, i-8) {
+				t.Fatalf("folded input %d differs from stage %d at u=%d", i, i-8, u)
+			}
+		}
+	}
+}
+
+func TestRandomSourceWidth(t *testing.T) {
+	cases := map[int]int{1: 8, 8: 8, 15: 15, 24: 24, 35: 24, 320: 24}
+	for in, want := range cases {
+		if got := RandomSourceWidth(in); got != want {
+			t.Errorf("RandomSourceWidth(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestTapsAccessor(t *testing.T) {
+	ts, ok := Taps(16)
+	if !ok || len(ts) != 4 || ts[0] != 16 {
+		t.Fatalf("Taps(16) = %v, %v", ts, ok)
+	}
+	if _, ok := Taps(2); ok {
+		t.Fatal("Taps(2) should not exist")
+	}
+}
+
+func TestBitAccessor(t *testing.T) {
+	l, _ := New(8, 0b10100101)
+	for s := 0; s < 8; s++ {
+		want := (0b10100101>>s)&1 == 1
+		if l.Bit(s) != want {
+			t.Fatalf("Bit(%d) = %v", s, l.Bit(s))
+		}
+	}
+}

@@ -1,0 +1,229 @@
+// Package logic provides the three-valued (0, 1, X) logic algebra used by
+// every simulator in this repository, together with a bit-parallel dual-rail
+// word representation that evaluates 64 machines (one fault-free machine plus
+// up to 63 faulty machines) per gate evaluation.
+package logic
+
+import "fmt"
+
+// V is a ternary logic value.
+type V uint8
+
+const (
+	// Zero is logic 0.
+	Zero V = iota
+	// One is logic 1.
+	One
+	// X is the unknown value.
+	X
+)
+
+// String returns "0", "1" or "X".
+func (v V) String() string {
+	switch v {
+	case Zero:
+		return "0"
+	case One:
+		return "1"
+	case X:
+		return "X"
+	default:
+		return fmt.Sprintf("V(%d)", uint8(v))
+	}
+}
+
+// FromBit converts a bool to Zero/One.
+func FromBit(b bool) V {
+	if b {
+		return One
+	}
+	return Zero
+}
+
+// FromByte parses '0', '1', 'x' or 'X'. Any other byte yields X and ok=false.
+func FromByte(c byte) (v V, ok bool) {
+	switch c {
+	case '0':
+		return Zero, true
+	case '1':
+		return One, true
+	case 'x', 'X':
+		return X, true
+	default:
+		return X, false
+	}
+}
+
+// IsBinary reports whether v is Zero or One.
+func (v V) IsBinary() bool { return v == Zero || v == One }
+
+// Not returns the ternary complement.
+func (v V) Not() V {
+	switch v {
+	case Zero:
+		return One
+	case One:
+		return Zero
+	default:
+		return X
+	}
+}
+
+// And returns the ternary AND of a and b.
+func And(a, b V) V {
+	if a == Zero || b == Zero {
+		return Zero
+	}
+	if a == One && b == One {
+		return One
+	}
+	return X
+}
+
+// Or returns the ternary OR of a and b.
+func Or(a, b V) V {
+	if a == One || b == One {
+		return One
+	}
+	if a == Zero && b == Zero {
+		return Zero
+	}
+	return X
+}
+
+// Xor returns the ternary XOR of a and b.
+func Xor(a, b V) V {
+	if !a.IsBinary() || !b.IsBinary() {
+		return X
+	}
+	if a != b {
+		return One
+	}
+	return Zero
+}
+
+// W is a dual-rail word holding 64 ternary values. Slot k of a word is
+// (bit k of Zeros, bit k of Ones):
+//
+//	(1,0) = logic 0,  (0,1) = logic 1,  (0,0) = X.
+//
+// (1,1) is illegal and never produced by the operations below when the
+// operands are legal.
+type W struct {
+	Zeros uint64
+	Ones  uint64
+}
+
+// AllZero is a word with logic 0 in every slot.
+var AllZero = W{Zeros: ^uint64(0)}
+
+// AllOne is a word with logic 1 in every slot.
+var AllOne = W{Ones: ^uint64(0)}
+
+// AllX is a word with X in every slot.
+var AllX = W{}
+
+// Broadcast returns a word with v in every slot.
+func Broadcast(v V) W {
+	switch v {
+	case Zero:
+		return AllZero
+	case One:
+		return AllOne
+	default:
+		return AllX
+	}
+}
+
+// Get returns the value in slot k (0 ≤ k < 64).
+func (w W) Get(k uint) V {
+	m := uint64(1) << k
+	switch {
+	case w.Ones&m != 0:
+		return One
+	case w.Zeros&m != 0:
+		return Zero
+	default:
+		return X
+	}
+}
+
+// Set returns w with slot k replaced by v.
+func (w W) Set(k uint, v V) W {
+	m := uint64(1) << k
+	w.Zeros &^= m
+	w.Ones &^= m
+	switch v {
+	case Zero:
+		w.Zeros |= m
+	case One:
+		w.Ones |= m
+	}
+	return w
+}
+
+// ForceMask forces the slots selected by mask to the binary value bit
+// (false = 0, true = 1), leaving the other slots untouched. It is the fault
+// injection primitive.
+func (w W) ForceMask(mask uint64, bit bool) W {
+	if bit {
+		w.Ones |= mask
+		w.Zeros &^= mask
+	} else {
+		w.Zeros |= mask
+		w.Ones &^= mask
+	}
+	return w
+}
+
+// Eq reports whether the two words hold identical values in every slot.
+func (w W) Eq(o W) bool { return w.Zeros == o.Zeros && w.Ones == o.Ones }
+
+// Not returns the slot-wise complement.
+func (w W) Not() W { return W{Zeros: w.Ones, Ones: w.Zeros} }
+
+// And returns the slot-wise ternary AND.
+func (w W) And(o W) W {
+	return W{Zeros: w.Zeros | o.Zeros, Ones: w.Ones & o.Ones}
+}
+
+// Or returns the slot-wise ternary OR.
+func (w W) Or(o W) W {
+	return W{Zeros: w.Zeros & o.Zeros, Ones: w.Ones | o.Ones}
+}
+
+// Xor returns the slot-wise ternary XOR.
+func (w W) Xor(o W) W {
+	return W{
+		Zeros: (w.Zeros & o.Zeros) | (w.Ones & o.Ones),
+		Ones:  (w.Zeros & o.Ones) | (w.Ones & o.Zeros),
+	}
+}
+
+// DiffMask returns the mask of slots whose value differs *binarily* from the
+// value of slot 0: slot k is set iff both slot 0 and slot k are binary and
+// unequal. This is the detection primitive of the fault simulator.
+func (w W) DiffMask() uint64 {
+	ref0 := w.Zeros & 1
+	ref1 := w.Ones & 1
+	switch {
+	case ref1 != 0: // reference value is 1: detected where slot is 0
+		return w.Zeros
+	case ref0 != 0: // reference value is 0: detected where slot is 1
+		return w.Ones
+	default: // reference is X: nothing is binarily different
+		return 0
+	}
+}
+
+// Valid reports whether no slot has the illegal (1,1) encoding.
+func (w W) Valid() bool { return w.Zeros&w.Ones == 0 }
+
+// String renders the word as 64 characters, slot 0 first.
+func (w W) String() string {
+	buf := make([]byte, 64)
+	for k := uint(0); k < 64; k++ {
+		buf[k] = w.Get(k).String()[0]
+	}
+	return string(buf)
+}

@@ -1,0 +1,203 @@
+package logic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestVString(t *testing.T) {
+	cases := []struct {
+		v    V
+		want string
+	}{{Zero, "0"}, {One, "1"}, {X, "X"}, {V(7), "V(7)"}}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("V(%d).String() = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestFromBit(t *testing.T) {
+	if FromBit(true) != One || FromBit(false) != Zero {
+		t.Fatal("FromBit wrong")
+	}
+}
+
+func TestFromByte(t *testing.T) {
+	cases := []struct {
+		c  byte
+		v  V
+		ok bool
+	}{{'0', Zero, true}, {'1', One, true}, {'x', X, true}, {'X', X, true}, {'2', X, false}, {' ', X, false}}
+	for _, c := range cases {
+		v, ok := FromByte(c.c)
+		if v != c.v || ok != c.ok {
+			t.Errorf("FromByte(%q) = %v,%v want %v,%v", c.c, v, ok, c.v, c.ok)
+		}
+	}
+}
+
+func TestTernaryTables(t *testing.T) {
+	vals := []V{Zero, One, X}
+	// Truth tables written out explicitly, indexed [a][b].
+	andTab := [3][3]V{
+		{Zero, Zero, Zero},
+		{Zero, One, X},
+		{Zero, X, X},
+	}
+	orTab := [3][3]V{
+		{Zero, One, X},
+		{One, One, One},
+		{X, One, X},
+	}
+	xorTab := [3][3]V{
+		{Zero, One, X},
+		{One, Zero, X},
+		{X, X, X},
+	}
+	for _, a := range vals {
+		for _, b := range vals {
+			if got := And(a, b); got != andTab[a][b] {
+				t.Errorf("And(%v,%v) = %v, want %v", a, b, got, andTab[a][b])
+			}
+			if got := Or(a, b); got != orTab[a][b] {
+				t.Errorf("Or(%v,%v) = %v, want %v", a, b, got, orTab[a][b])
+			}
+			if got := Xor(a, b); got != xorTab[a][b] {
+				t.Errorf("Xor(%v,%v) = %v, want %v", a, b, got, xorTab[a][b])
+			}
+		}
+	}
+	if Zero.Not() != One || One.Not() != Zero || X.Not() != X {
+		t.Error("Not table wrong")
+	}
+}
+
+func TestWordGetSet(t *testing.T) {
+	w := AllX
+	w = w.Set(0, One).Set(1, Zero).Set(63, One)
+	if w.Get(0) != One || w.Get(1) != Zero || w.Get(2) != X || w.Get(63) != One {
+		t.Fatalf("Get/Set round trip failed: %v", w)
+	}
+	if !w.Valid() {
+		t.Fatal("word invalid after Set")
+	}
+	// Overwriting a slot must clear the old rail.
+	w = w.Set(0, Zero)
+	if w.Get(0) != Zero || !w.Valid() {
+		t.Fatal("Set overwrite broke encoding")
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	for _, v := range []V{Zero, One, X} {
+		w := Broadcast(v)
+		for k := uint(0); k < 64; k += 13 {
+			if w.Get(k) != v {
+				t.Errorf("Broadcast(%v).Get(%d) = %v", v, k, w.Get(k))
+			}
+		}
+	}
+}
+
+func TestForceMask(t *testing.T) {
+	w := Broadcast(Zero)
+	w = w.ForceMask(0b1010, true)
+	if w.Get(1) != One || w.Get(3) != One || w.Get(0) != Zero {
+		t.Fatalf("ForceMask true failed: %v", w)
+	}
+	w = w.ForceMask(0b0010, false)
+	if w.Get(1) != Zero {
+		t.Fatalf("ForceMask false failed: %v", w)
+	}
+	if !w.Valid() {
+		t.Fatal("ForceMask produced invalid word")
+	}
+}
+
+// word-level ops must agree with the scalar ternary ops in every slot.
+func TestWordOpsAgreeWithScalar(t *testing.T) {
+	f := func(az, ao, bz, bo uint64) bool {
+		a := W{Zeros: az &^ ao, Ones: ao &^ az} // legalize
+		b := W{Zeros: bz &^ bo, Ones: bo &^ bz}
+		and := a.And(b)
+		or := a.Or(b)
+		xor := a.Xor(b)
+		not := a.Not()
+		for k := uint(0); k < 64; k++ {
+			va, vb := a.Get(k), b.Get(k)
+			if and.Get(k) != And(va, vb) {
+				return false
+			}
+			if or.Get(k) != Or(va, vb) {
+				return false
+			}
+			if xor.Get(k) != Xor(va, vb) {
+				return false
+			}
+			if not.Get(k) != va.Not() {
+				return false
+			}
+		}
+		return and.Valid() && or.Valid() && xor.Valid() && not.Valid()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiffMask(t *testing.T) {
+	// Reference slot 0 = 1, slot 1 = 0 (differs), slot 2 = X (not binary
+	// difference), slot 3 = 1 (same).
+	w := AllX.Set(0, One).Set(1, Zero).Set(3, One)
+	if got := w.DiffMask(); got != 0b0010 {
+		t.Fatalf("DiffMask = %b, want 0010", got)
+	}
+	// Reference 0.
+	w = AllX.Set(0, Zero).Set(1, One).Set(2, Zero)
+	if got := w.DiffMask(); got != 0b0010 {
+		t.Fatalf("DiffMask = %b, want 0010", got)
+	}
+	// Reference X: no detections possible.
+	w = AllX.Set(1, One).Set(2, Zero)
+	if got := w.DiffMask(); got != 0 {
+		t.Fatalf("DiffMask = %b, want 0", got)
+	}
+}
+
+func TestDiffMaskProperty(t *testing.T) {
+	f := func(az, ao uint64) bool {
+		w := W{Zeros: az &^ ao, Ones: ao &^ az}
+		mask := w.DiffMask()
+		ref := w.Get(0)
+		for k := uint(0); k < 64; k++ {
+			bit := mask&(1<<k) != 0
+			v := w.Get(k)
+			want := ref.IsBinary() && v.IsBinary() && v != ref
+			if bit != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWordString(t *testing.T) {
+	w := AllX.Set(0, One).Set(1, Zero)
+	s := w.String()
+	if len(s) != 64 || s[0] != '1' || s[1] != '0' || s[2] != 'X' {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestEq(t *testing.T) {
+	a := AllX.Set(5, One)
+	b := AllX.Set(5, One)
+	c := AllX.Set(5, Zero)
+	if !a.Eq(b) || a.Eq(c) {
+		t.Fatal("Eq wrong")
+	}
+}

@@ -1,0 +1,198 @@
+package misr
+
+import (
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/randutil"
+)
+
+func TestScalarSignatureDeterministic(t *testing.T) {
+	a, err := New(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := New(16)
+	rng := randutil.New(1)
+	for i := 0; i < 200; i++ {
+		bits := []logic.V{logic.FromBit(rng.Bool()), logic.FromBit(rng.Bool())}
+		a.Shift(bits)
+		b.Shift(bits)
+	}
+	sa, oka := a.Signature()
+	sb, okb := b.Signature()
+	if sa != sb || !oka || !okb {
+		t.Fatalf("signatures diverged: %x/%v vs %x/%v", sa, oka, sb, okb)
+	}
+}
+
+func TestScalarSignatureSensitivity(t *testing.T) {
+	// Flipping a single response bit must change the signature (no single
+	// masking for a linear compactor fed once).
+	rng := randutil.New(7)
+	stream := make([][]logic.V, 100)
+	for i := range stream {
+		stream[i] = []logic.V{logic.FromBit(rng.Bool()), logic.FromBit(rng.Bool()), logic.FromBit(rng.Bool())}
+	}
+	golden, _ := New(12)
+	for _, bits := range stream {
+		golden.Shift(bits)
+	}
+	gs, _ := golden.Signature()
+	// Flip one bit at several positions.
+	for _, flipAt := range []int{0, 13, 57, 99} {
+		m, _ := New(12)
+		for i, bits := range stream {
+			b := append([]logic.V(nil), bits...)
+			if i == flipAt {
+				b[1] = b[1].Not()
+			}
+			m.Shift(b)
+		}
+		fs, ok := m.Signature()
+		if !ok {
+			t.Fatal("tainted unexpectedly")
+		}
+		if fs == gs {
+			t.Fatalf("single flip at %d aliased", flipAt)
+		}
+	}
+}
+
+func TestScalarTaint(t *testing.T) {
+	m, _ := New(8)
+	m.Shift([]logic.V{logic.One})
+	if _, ok := m.Signature(); !ok {
+		t.Fatal("clean register reported tainted")
+	}
+	m.Shift([]logic.V{logic.X})
+	if _, ok := m.Signature(); ok {
+		t.Fatal("X not tainting")
+	}
+	m.Reset()
+	if _, ok := m.Signature(); !ok {
+		t.Fatal("Reset did not clear taint")
+	}
+}
+
+func TestUnsupportedWidth(t *testing.T) {
+	if _, err := New(2); err == nil {
+		t.Error("scalar width 2 accepted")
+	}
+	if _, err := NewWord(99); err == nil {
+		t.Error("word width 99 accepted")
+	}
+}
+
+func TestInputFolding(t *testing.T) {
+	// 10 inputs into a 4-bit register must fold (i mod 4) and still work.
+	m, _ := New(4)
+	bits := make([]logic.V, 10)
+	for i := range bits {
+		bits[i] = logic.One
+	}
+	m.Shift(bits)
+	sig, ok := m.Signature()
+	if !ok {
+		t.Fatal("tainted")
+	}
+	// stages 0,1 get 3 ones (odd -> 1), stages 2,3 get 2 ones (even -> 0);
+	// initial state 0 so signature = 0b0011.
+	if sig != 0b0011 {
+		t.Fatalf("signature %04b, want 0011", sig)
+	}
+}
+
+// TestWordMatchesScalar drives the word MISR and 64 scalar MISRs with the
+// same per-slot streams and checks every slot signature matches.
+func TestWordMatchesScalar(t *testing.T) {
+	const width = 9
+	const steps = 60
+	const numPO = 5
+	rng := randutil.New(42)
+	wm, err := NewWord(width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scalars := make([]*MISR, 64)
+	for k := range scalars {
+		scalars[k], _ = New(width)
+	}
+	for u := 0; u < steps; u++ {
+		po := make([]logic.W, numPO)
+		perSlot := make([][]logic.V, 64)
+		for k := range perSlot {
+			perSlot[k] = make([]logic.V, numPO)
+		}
+		for i := 0; i < numPO; i++ {
+			w := logic.AllX
+			for k := uint(0); k < 64; k++ {
+				var v logic.V
+				switch rng.Intn(10) {
+				case 0:
+					v = logic.X
+				default:
+					v = logic.FromBit(rng.Bool())
+				}
+				w = w.Set(k, v)
+				perSlot[k][i] = v
+			}
+			po[i] = w
+		}
+		wm.Shift(po)
+		for k := range scalars {
+			scalars[k].Shift(perSlot[k])
+		}
+	}
+	for k := uint(0); k < 64; k++ {
+		wantSig, wantOK := scalars[k].Signature()
+		gotSig, gotOK := wm.SlotSignature(k)
+		if gotOK != wantOK {
+			t.Fatalf("slot %d taint mismatch: %v vs %v", k, gotOK, wantOK)
+		}
+		if wantOK && gotSig != wantSig {
+			t.Fatalf("slot %d signature %x, want %x", k, gotSig, wantSig)
+		}
+	}
+}
+
+func TestWordDiffMask(t *testing.T) {
+	wm, _ := NewWord(8)
+	// Slot 1 differs from slot 0 in one response bit at one time unit.
+	for u := 0; u < 20; u++ {
+		w := logic.AllZero
+		if u == 7 {
+			w = w.Set(1, logic.One)
+		}
+		wm.Shift([]logic.W{w})
+	}
+	diff := wm.DiffMask()
+	if diff != 0b10 {
+		t.Fatalf("DiffMask = %b, want 10", diff)
+	}
+}
+
+func TestWordDiffMaskTaintedReference(t *testing.T) {
+	wm, _ := NewWord(8)
+	w := logic.AllZero.Set(0, logic.X).Set(1, logic.One)
+	wm.Shift([]logic.W{w})
+	if wm.DiffMask() != 0 {
+		t.Fatal("tainted reference must suppress all detections")
+	}
+	if wm.TaintMask()&1 == 0 {
+		t.Fatal("slot 0 not marked tainted")
+	}
+}
+
+func TestWordReset(t *testing.T) {
+	wm, _ := NewWord(8)
+	wm.Shift([]logic.W{logic.AllX})
+	wm.Reset()
+	if wm.TaintMask() != 0 {
+		t.Fatal("Reset did not clear taint")
+	}
+	sig, ok := wm.SlotSignature(3)
+	if sig != 0 || !ok {
+		t.Fatal("Reset did not clear state")
+	}
+}

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"math/bits"
+	"sort"
+
+	"repro/internal/circuit"
+	"repro/internal/fsim"
+)
+
+// ExactCoverLimit bounds the instance size (faults and candidate lines) that
+// ExactCover will attack with branch-and-bound before falling back to the
+// greedy procedure.
+const ExactCoverLimit = 24
+
+// ExactCover is a CoverFunc that computes a minimum-cardinality set of
+// observation points by branch-and-bound when the instance is small
+// (≤ ExactCoverLimit coverable faults and candidate lines after dominance
+// pruning) and falls back to GreedyCover otherwise. The paper asks for "a
+// minimal number of lines"; greedy is its practical approximation, and this
+// function quantifies how far greedy is from optimal on tractable instances.
+func ExactCover(opSets []fsim.Bitset, undet []bool, numNodes int) ([]circuit.NodeID, int) {
+	// Collect the coverable faults.
+	var active []int
+	for i, u := range undet {
+		if u && opSets[i] != nil && opSets[i].Count() > 0 {
+			active = append(active, i)
+		}
+	}
+	if len(active) == 0 {
+		return nil, 0
+	}
+	if len(active) > ExactCoverLimit {
+		return GreedyCover(opSets, undet, numNodes)
+	}
+	// Candidate lines: union of the OP sets. Represent each line as a mask
+	// over the active faults.
+	lineMask := map[int]uint64{}
+	for k, i := range active {
+		forEachBit(opSets[i], func(n int) {
+			lineMask[n] |= 1 << uint(k)
+		})
+	}
+	// Dominance pruning: drop lines whose fault mask is a subset of another
+	// line's mask (keeping the smaller node id on ties for determinism).
+	type cand struct {
+		node int
+		mask uint64
+	}
+	var cands []cand
+	for n, m := range lineMask {
+		cands = append(cands, cand{n, m})
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		ca, cb := cands[a], cands[b]
+		pa, pb := bits.OnesCount64(ca.mask), bits.OnesCount64(cb.mask)
+		if pa != pb {
+			return pa > pb
+		}
+		return ca.node < cb.node
+	})
+	var pruned []cand
+	for _, c := range cands {
+		dominated := false
+		for _, p := range pruned {
+			if c.mask&^p.mask == 0 {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			pruned = append(pruned, c)
+		}
+	}
+	if len(pruned) > ExactCoverLimit {
+		return GreedyCover(opSets, undet, numNodes)
+	}
+
+	full := uint64(1)<<uint(len(active)) - 1
+	// Greedy gives the initial upper bound.
+	greedyLines, covered := GreedyCover(opSets, undet, numNodes)
+	best := make([]int, 0, len(greedyLines))
+	for _, n := range greedyLines {
+		best = append(best, int(n))
+	}
+	bestLen := len(best)
+
+	var cur []int
+	var dfs func(coveredMask uint64)
+	dfs = func(coveredMask uint64) {
+		if coveredMask == full {
+			if len(cur) < bestLen {
+				bestLen = len(cur)
+				best = append(best[:0], cur...)
+			}
+			return
+		}
+		if len(cur)+1 >= bestLen {
+			// Even one more line cannot beat the incumbent unless it
+			// finishes the cover.
+			rest := full &^ coveredMask
+			for _, c := range pruned {
+				if rest&^c.mask == 0 {
+					cur = append(cur, c.node)
+					dfs(full)
+					cur = cur[:len(cur)-1]
+					return
+				}
+			}
+			return
+		}
+		// Branch on the first uncovered fault: one of its lines must be in
+		// the cover (standard set-cover branching keeps the tree small).
+		k := bits.TrailingZeros64(full &^ coveredMask)
+		for _, c := range pruned {
+			if c.mask&(1<<uint(k)) == 0 {
+				continue
+			}
+			cur = append(cur, c.node)
+			dfs(coveredMask | c.mask)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	dfs(0)
+
+	out := make([]circuit.NodeID, len(best))
+	for i, n := range best {
+		out[i] = circuit.NodeID(n)
+	}
+	return out, covered
+}

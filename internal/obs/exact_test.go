@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fsim"
+	"repro/internal/randutil"
+)
+
+func TestExactCoverBeatsGreedyOnClassicInstance(t *testing.T) {
+	// The classic greedy-suboptimal set-cover family: elements 1..6,
+	// S1={1,2,3,4} (greedy bait), S2={1,2,5}, S3={3,4,6}, S4={5,6}.
+	// Optimum is {S2∪S3... } — pick lines: line 10 covers {0,1,2,3},
+	// line 11 covers {0,1,4}, line 12 covers {2,3,5}, line 13 covers {4,5}.
+	// Greedy takes 10 then needs 13 and one of 11/12 -> possibly 3 lines;
+	// optimal is {11, 12} with... 11∪12 = {0,1,2,3,4,5}: 2 lines.
+	op := make([]fsim.Bitset, 6)
+	for i := range op {
+		op[i] = fsim.NewBitset(16)
+	}
+	set := func(line int, faults ...int) {
+		for _, f := range faults {
+			op[f].Set(line)
+		}
+	}
+	set(10, 0, 1, 2, 3)
+	set(11, 0, 1, 4)
+	set(12, 2, 3, 5)
+	set(13, 4, 5)
+	undet := []bool{true, true, true, true, true, true}
+	exactLines, exactCovered := ExactCover(op, undet, 16)
+	if exactCovered != 6 {
+		t.Fatalf("exact covered %d of 6", exactCovered)
+	}
+	if len(exactLines) != 2 {
+		t.Fatalf("exact used %d lines, optimum is 2 (%v)", len(exactLines), exactLines)
+	}
+	greedyLines, _ := GreedyCover(op, undet, 16)
+	if len(greedyLines) < len(exactLines) {
+		t.Fatalf("greedy (%d) beat exact (%d)?", len(greedyLines), len(exactLines))
+	}
+}
+
+func TestExactNeverWorseThanGreedy(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := randutil.New(seed)
+		nf := 1 + rng.Intn(10)
+		nl := 1 + rng.Intn(12)
+		op := make([]fsim.Bitset, nf)
+		undet := make([]bool, nf)
+		for i := range op {
+			op[i] = fsim.NewBitset(64)
+			undet[i] = true
+			// Every fault coverable by at least one line.
+			op[i].Set(rng.Intn(nl))
+			for l := 0; l < nl; l++ {
+				if rng.Intn(3) == 0 {
+					op[i].Set(l)
+				}
+			}
+		}
+		exactLines, exactCov := ExactCover(op, undet, 64)
+		greedyLines, greedyCov := GreedyCover(op, undet, 64)
+		if exactCov != greedyCov {
+			return false
+		}
+		if len(exactLines) > len(greedyLines) {
+			return false
+		}
+		// The exact cover must actually cover everything it claims.
+		for i := range op {
+			hit := false
+			for _, n := range exactLines {
+				if op[i].Get(int(n)) {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExactCoverFallsBackOnLargeInstances(t *testing.T) {
+	n := ExactCoverLimit + 10
+	op := make([]fsim.Bitset, n)
+	undet := make([]bool, n)
+	for i := range op {
+		op[i] = fsim.NewBitset(128)
+		op[i].Set(i) // one private line each: cover needs n lines
+		undet[i] = true
+	}
+	lines, covered := ExactCover(op, undet, 128)
+	if covered != n || len(lines) != n {
+		t.Fatalf("fallback wrong: %d lines, %d covered", len(lines), covered)
+	}
+}
+
+func TestExactCoverEmpty(t *testing.T) {
+	lines, covered := ExactCover(nil, nil, 8)
+	if lines != nil || covered != 0 {
+		t.Fatal("empty instance mishandled")
+	}
+}

@@ -1,0 +1,379 @@
+// Package podem implements a bounded sequential test generator for single
+// stuck-at faults: PODEM-style branch-and-bound over the primary-input
+// assignments of a k-time-frame window, evaluated with good/faulty value
+// pairs (the D-calculus). The window starts from explicitly given good and
+// faulty machine states, so a caller can continue from wherever an existing
+// test sequence left off — the generated vectors are appended to that
+// sequence. This is the deterministic phase of the STRATEGATE substitute
+// (see internal/atpg): random search finds the easy faults, PODEM targets
+// the stragglers.
+package podem
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/sim"
+)
+
+// Options bound the search.
+type Options struct {
+	// Frames is the number of time frames in the window (default 8).
+	Frames int
+	// MaxBacktracks bounds the decision backtracks (default 500).
+	MaxBacktracks int
+}
+
+func (o *Options) fill() {
+	if o.Frames == 0 {
+		o.Frames = 8
+	}
+	if o.MaxBacktracks == 0 {
+		o.MaxBacktracks = 500
+	}
+}
+
+// Result reports a search outcome.
+type Result struct {
+	// Found reports whether a detecting window was found.
+	Found bool
+	// Seq is the input window (length = Options.Frames), with every
+	// unassigned input filled with 0. Valid only when Found.
+	Seq *sim.Sequence
+	// Backtracks counts the backtracks consumed.
+	Backtracks int
+}
+
+// pair is a good/faulty value pair.
+type pair struct {
+	g, f logic.V
+}
+
+func (p pair) divergent() bool {
+	return p.g.IsBinary() && p.f.IsBinary() && p.g != p.f
+}
+
+// searcher holds the per-call state.
+type searcher struct {
+	c      *circuit.Circuit
+	flt    fault.Fault
+	opts   Options
+	gInit  []logic.V
+	fInit  []logic.V
+	pi     [][]logic.V // pi[frame][input]: current assignments (X = free)
+	vals   [][]pair    // vals[frame][node]: last simulation
+	detAt  int         // frame where detection occurred, -1
+	busyBT int
+}
+
+// FindTest searches for an input window of opts.Frames vectors that detects
+// the fault when applied after states goodInit / faultyInit (one value per
+// flip-flop; X allowed). On success the returned sequence, applied from
+// those states, makes a primary output differ binarily between the good and
+// faulty machines (callers should re-verify with the fault simulator, which
+// internal/atpg does).
+func FindTest(c *circuit.Circuit, f fault.Fault, goodInit, faultyInit []logic.V, opts Options) (*Result, error) {
+	opts.fill()
+	if len(goodInit) != c.NumDFFs() || len(faultyInit) != c.NumDFFs() {
+		return nil, fmt.Errorf("podem: state width %d/%d for circuit with %d flip-flops",
+			len(goodInit), len(faultyInit), c.NumDFFs())
+	}
+	s := &searcher{
+		c:     c,
+		flt:   f,
+		opts:  opts,
+		gInit: goodInit,
+		fInit: faultyInit,
+	}
+	s.pi = make([][]logic.V, opts.Frames)
+	for fr := range s.pi {
+		s.pi[fr] = make([]logic.V, c.NumInputs())
+		for i := range s.pi[fr] {
+			s.pi[fr][i] = logic.X
+		}
+	}
+	s.vals = make([][]pair, opts.Frames)
+	for fr := range s.vals {
+		s.vals[fr] = make([]pair, len(c.Nodes))
+	}
+	res := &Result{}
+	found := s.search(res)
+	res.Found = found
+	if found {
+		seq := sim.NewSequence(c.NumInputs())
+		vec := make([]logic.V, c.NumInputs())
+		for fr := 0; fr < opts.Frames; fr++ {
+			for i := range vec {
+				v := s.pi[fr][i]
+				if !v.IsBinary() {
+					v = logic.Zero
+				}
+				vec[i] = v
+			}
+			seq.Append(vec)
+		}
+		res.Seq = seq
+	}
+	return res, nil
+}
+
+// simulate performs good/faulty pair simulation of the whole window under
+// the current assignments and records the detection frame.
+func (s *searcher) simulate() {
+	c := s.c
+	gState := make([]logic.V, c.NumDFFs())
+	fState := make([]logic.V, c.NumDFFs())
+	copy(gState, s.gInit)
+	copy(fState, s.fInit)
+	s.detAt = -1
+	for fr := 0; fr < s.opts.Frames; fr++ {
+		vals := s.vals[fr]
+		for k, id := range c.Inputs {
+			vals[id] = s.forced(id, -1, pair{s.pi[fr][k], s.pi[fr][k]})
+		}
+		for k, id := range c.DFFs {
+			vals[id] = s.forced(id, -1, pair{gState[k], fState[k]})
+		}
+		var in [8]pair
+		for _, id := range c.Order {
+			n := &c.Nodes[id]
+			fan := in[:0]
+			for pin, fid := range n.Fanins {
+				v := vals[fid]
+				if s.flt.Pin == pin && s.flt.Node == id {
+					v.f = logic.V(s.flt.Stuck)
+				}
+				fan = append(fan, v)
+			}
+			vals[id] = s.forced(id, -1, evalPair(n.Type, fan))
+		}
+		if s.detAt < 0 {
+			for _, id := range c.Outputs {
+				if vals[id].divergent() {
+					s.detAt = fr
+					break
+				}
+			}
+		}
+		for k, id := range c.DFFs {
+			v := vals[c.Nodes[id].Fanins[0]]
+			if s.flt.Pin == 0 && s.flt.Node == id {
+				v.f = logic.V(s.flt.Stuck)
+			}
+			gState[k] = v.g
+			fState[k] = v.f
+		}
+	}
+}
+
+// forced applies the stem fault at node id to the faulty rail.
+func (s *searcher) forced(id circuit.NodeID, _ int, v pair) pair {
+	if s.flt.Pin < 0 && s.flt.Node == id {
+		v.f = logic.V(s.flt.Stuck)
+	}
+	return v
+}
+
+func evalPair(t circuit.GateType, in []pair) pair {
+	var g, f [8]logic.V
+	for i, p := range in {
+		g[i] = p.g
+		f[i] = p.f
+	}
+	return pair{
+		g: sim.Eval(t, g[:len(in)]),
+		f: sim.Eval(t, f[:len(in)]),
+	}
+}
+
+// objective returns the next (node, frame, good-value) goal, or ok=false if
+// the fault cannot progress (no activation possible and no D-frontier).
+func (s *searcher) objective() (circuit.NodeID, int, logic.V, bool) {
+	// Activation: some frame where the fault site carries the stuck value's
+	// complement on the good rail.
+	siteVal := func(fr int) logic.V {
+		if s.flt.Pin < 0 {
+			return s.vals[fr][s.flt.Node].g
+		}
+		return s.vals[fr][s.c.Nodes[s.flt.Node].Fanins[s.flt.Pin]].g
+	}
+	activated := false
+	for fr := 0; fr < s.opts.Frames && !activated; fr++ {
+		if siteVal(fr).IsBinary() && siteVal(fr) != logic.V(s.flt.Stuck) {
+			activated = true
+		}
+	}
+	if !activated {
+		want := logic.V(s.flt.Stuck).Not()
+		for fr := 0; fr < s.opts.Frames; fr++ {
+			if siteVal(fr) == logic.X {
+				target := s.flt.Node
+				if s.flt.Pin >= 0 {
+					target = s.c.Nodes[s.flt.Node].Fanins[s.flt.Pin]
+				}
+				return target, fr, want, true
+			}
+		}
+		return 0, 0, logic.X, false // site pinned to the stuck value everywhere
+	}
+	// Propagation: find a gate with a divergent input and an X output whose
+	// side inputs can still be set (good value X). Branch faults make the
+	// divergence visible only on the faulted pin, not on the driver node, so
+	// the pin forcing is re-applied here.
+	for fr := 0; fr < s.opts.Frames; fr++ {
+		vals := s.vals[fr]
+		for _, id := range s.c.Order {
+			if vals[id].g != logic.X && vals[id].f != logic.X {
+				continue
+			}
+			n := &s.c.Nodes[id]
+			hasD := false
+			for pin, fid := range n.Fanins {
+				v := vals[fid]
+				if s.flt.Pin == pin && s.flt.Node == id {
+					v.f = logic.V(s.flt.Stuck)
+				}
+				if v.divergent() {
+					hasD = true
+					break
+				}
+			}
+			if !hasD {
+				continue
+			}
+			for _, fid := range n.Fanins {
+				if vals[fid].g == logic.X {
+					return fid, fr, nonControlling(n.Type), true
+				}
+			}
+		}
+	}
+	return 0, 0, logic.X, false
+}
+
+// nonControlling returns the side-input value that lets a fault effect pass
+// through a gate of type t.
+func nonControlling(t circuit.GateType) logic.V {
+	switch t {
+	case circuit.And, circuit.Nand:
+		return logic.One
+	case circuit.Or, circuit.Nor:
+		return logic.Zero
+	default: // XOR/XNOR/NOT/BUF: any value propagates
+		return logic.Zero
+	}
+}
+
+// backtrace maps an objective to an unassigned primary input (input index,
+// frame, value), walking backward through X-valued lines and across flip-
+// flops into earlier frames. ok=false if the objective dead-ends (e.g. it
+// reaches the fixed initial state).
+func (s *searcher) backtrace(id circuit.NodeID, fr int, v logic.V) (int, int, logic.V, bool) {
+	for steps := 0; steps < len(s.c.Nodes)*s.opts.Frames; steps++ {
+		n := &s.c.Nodes[id]
+		switch n.Type {
+		case circuit.Input:
+			for k, iid := range s.c.Inputs {
+				if iid == id {
+					if s.pi[fr][k] != logic.X {
+						return 0, 0, logic.X, false // already pinned
+					}
+					return k, fr, v, true
+				}
+			}
+			return 0, 0, logic.X, false
+		case circuit.DFF:
+			if fr == 0 {
+				return 0, 0, logic.X, false // initial state is fixed
+			}
+			fr--
+			id = n.Fanins[0]
+		case circuit.Not:
+			id = n.Fanins[0]
+			v = v.Not()
+		case circuit.Buf:
+			id = n.Fanins[0]
+		case circuit.Xor, circuit.Xnor:
+			next, ok := s.pickXFanin(n, fr)
+			if !ok {
+				return 0, 0, logic.X, false
+			}
+			id = next
+			v = logic.Zero // free choice; the other inputs adapt
+		default: // AND/NAND/OR/NOR
+			want := v
+			if n.Type == circuit.Nand || n.Type == circuit.Nor {
+				want = want.Not()
+			}
+			next, ok := s.pickXFanin(n, fr)
+			if !ok {
+				return 0, 0, logic.X, false
+			}
+			id = next
+			if n.Type == circuit.And || n.Type == circuit.Nand {
+				v = want // 1 needs all ones; 0 needs a zero: either way drive `want`
+			} else {
+				v = want
+			}
+		}
+	}
+	return 0, 0, logic.X, false
+}
+
+// pickXFanin returns a fanin whose good value is X.
+func (s *searcher) pickXFanin(n *circuit.Node, fr int) (circuit.NodeID, bool) {
+	for _, fid := range n.Fanins {
+		if s.vals[fr][fid].g == logic.X {
+			return fid, true
+		}
+	}
+	return 0, false
+}
+
+type decision struct {
+	input, frame int
+	value        logic.V
+	flipped      bool
+}
+
+// search runs the PODEM decision loop.
+func (s *searcher) search(res *Result) bool {
+	var stack []decision
+	s.simulate()
+	for {
+		if s.detAt >= 0 {
+			return true
+		}
+		id, fr, v, ok := s.objective()
+		if ok {
+			if k, pfr, pv, traced := s.backtrace(id, fr, v); traced {
+				s.pi[pfr][k] = pv
+				stack = append(stack, decision{input: k, frame: pfr, value: pv})
+				s.simulate()
+				continue
+			}
+		}
+		// Dead end: backtrack.
+		for {
+			if len(stack) == 0 {
+				return false
+			}
+			res.Backtracks++
+			if res.Backtracks > s.opts.MaxBacktracks {
+				return false
+			}
+			d := &stack[len(stack)-1]
+			if !d.flipped {
+				d.flipped = true
+				d.value = d.value.Not()
+				s.pi[d.frame][d.input] = d.value
+				break
+			}
+			s.pi[d.frame][d.input] = logic.X
+			stack = stack[:len(stack)-1]
+		}
+		s.simulate()
+	}
+}

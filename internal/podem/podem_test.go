@@ -1,0 +1,216 @@
+package podem
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/iscas"
+	"repro/internal/logic"
+	"repro/internal/sim"
+)
+
+// verify checks that a found window really detects the fault when simulated
+// from the all-zero state.
+func verify(t *testing.T, c *circuit.Circuit, f fault.Fault, res *Result) {
+	t.Helper()
+	if !res.Found {
+		t.Fatalf("no test found for %s", f.String(c))
+	}
+	out := fsim.Run(c, res.Seq, []fault.Fault{f}, fsim.Options{Init: logic.Zero})
+	if !out.Detected[0] {
+		t.Fatalf("PODEM window does not detect %s:\n%s", f.String(c), res.Seq)
+	}
+}
+
+func zeroState(c *circuit.Circuit) []logic.V {
+	return make([]logic.V, c.NumDFFs())
+}
+
+func TestCombinationalAndGate(t *testing.T) {
+	b := circuit.NewBuilder("and")
+	b.Input("a")
+	b.Input("b")
+	b.Gate("g", circuit.And, "a", "b")
+	b.Output("g")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// g s-a-0 requires a=b=1.
+	g, _ := c.Lookup("g")
+	f := fault.Fault{Node: g, Pin: -1, Stuck: 0}
+	res, err := FindTest(c, f, zeroState(c), zeroState(c), Options{Frames: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify(t, c, f, res)
+	if res.Seq.At(0, 0) != logic.One || res.Seq.At(0, 1) != logic.One {
+		t.Fatalf("expected a=b=1, got %s", res.Seq)
+	}
+}
+
+func TestSequentialPropagationThroughShiftRegister(t *testing.T) {
+	// in -> q0 -> q1 -> out: a fault at the input needs 3 frames to reach
+	// the output.
+	b := circuit.NewBuilder("sr")
+	b.Input("in")
+	b.DFF("q0", "inb")
+	b.DFF("q1", "q0")
+	b.Gate("inb", circuit.Buf, "in")
+	b.Gate("out", circuit.Buf, "q1")
+	b.Output("out")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, _ := c.Lookup("in")
+	f := fault.Fault{Node: in, Pin: -1, Stuck: 0}
+	res, err := FindTest(c, f, zeroState(c), zeroState(c), Options{Frames: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify(t, c, f, res)
+	// Too few frames must fail.
+	short, err := FindTest(c, f, zeroState(c), zeroState(c), Options{Frames: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short.Found {
+		t.Fatal("2 frames cannot propagate through 2 flip-flops plus detection")
+	}
+}
+
+func TestStateActivation(t *testing.T) {
+	// The fault is on the state cone: q' = XOR(q, en); out = q. Fault q
+	// s-a-0 needs en=1 in an earlier frame to set q, then observation.
+	b := circuit.NewBuilder("tog")
+	b.Input("en")
+	b.DFF("q", "d")
+	b.Gate("d", circuit.Xor, "q", "en")
+	b.Gate("out", circuit.Buf, "q")
+	b.Output("out")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := c.Lookup("q")
+	f := fault.Fault{Node: q, Pin: -1, Stuck: 0}
+	res, err := FindTest(c, f, zeroState(c), zeroState(c), Options{Frames: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify(t, c, f, res)
+}
+
+func TestComparatorNeedle(t *testing.T) {
+	// The headline case: the cmphard comparator's match line s-a-0 needs the
+	// exact 16-bit magic constant — hopeless for random search, one
+	// backtrace chain for PODEM.
+	c, err := iscas.HardCircuit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	match, ok := c.Lookup("match")
+	if !ok {
+		t.Fatal("match line missing")
+	}
+	f := fault.Fault{Node: match, Pin: -1, Stuck: 0}
+	res, err := FindTest(c, f, zeroState(c), zeroState(c), Options{Frames: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify(t, c, f, res)
+}
+
+func TestUndetectableFaultBounded(t *testing.T) {
+	// OR(a, NOT a) is constantly 1: its s-a-1 is undetectable. The search
+	// must terminate without a result.
+	b := circuit.NewBuilder("red")
+	b.Input("a")
+	b.Gate("an", circuit.Not, "a")
+	b.Gate("g", circuit.Or, "a", "an")
+	b.Output("g")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := c.Lookup("g")
+	f := fault.Fault{Node: g, Pin: -1, Stuck: 1}
+	res, err := FindTest(c, f, nil, nil, Options{Frames: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Fatal("undetectable fault 'detected'")
+	}
+}
+
+func TestContinuationFromDivergedStates(t *testing.T) {
+	// If the good and faulty states already differ at a flip-flop feeding an
+	// output cone, one frame suffices even though the fault site itself is
+	// never re-activated.
+	b := circuit.NewBuilder("cont")
+	b.Input("en")
+	b.DFF("q", "d")
+	b.Gate("d", circuit.And, "q", "en") // hold while en=1
+	b.Gate("out", circuit.And, "q", "en")
+	b.Output("out")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := c.Lookup("q")
+	f := fault.Fault{Node: q, Pin: -1, Stuck: 0}
+	good := []logic.V{logic.One}
+	faulty := []logic.V{logic.Zero} // the fault already corrupted the state
+	res, err := FindTest(c, f, good, faulty, Options{Frames: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("diverged state not exploited")
+	}
+	// en must be 1 to observe.
+	if res.Seq.At(0, 0) != logic.One {
+		t.Fatalf("expected en=1, got %s", res.Seq)
+	}
+}
+
+func TestStateWidthValidation(t *testing.T) {
+	c := iscas.MustLoad("s27")
+	if _, err := FindTest(c, fault.Fault{Node: 0, Pin: -1}, nil, nil, Options{}); err == nil {
+		t.Fatal("wrong state width accepted")
+	}
+}
+
+func TestBranchFault(t *testing.T) {
+	// Branch fault on one fanout of a stem: a = fanout to AND and OR.
+	b := circuit.NewBuilder("br")
+	b.Input("a")
+	b.Input("b")
+	b.Gate("g1", circuit.And, "a", "b")
+	b.Gate("g2", circuit.Or, "a", "b")
+	b.Output("g1")
+	b.Output("g2")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, _ := c.Lookup("g1")
+	f := fault.Fault{Node: g1, Pin: 0, Stuck: 0} // branch a->g1 s-a-0
+	res, err := FindTest(c, f, nil, nil, Options{Frames: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("branch fault not detected")
+	}
+	out := fsim.Run(c, res.Seq, []fault.Fault{f}, fsim.Options{Init: logic.Zero})
+	if !out.Detected[0] {
+		t.Fatalf("window does not detect the branch fault:\n%s", res.Seq)
+	}
+}
+
+var _ = sim.NewSequence

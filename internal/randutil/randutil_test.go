@@ -1,0 +1,119 @@
+package randutil
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions between adjacent seeds", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(13)
+		if v < 0 || v >= 13 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(99)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := New(seed)
+		n := 1 + r.Intn(50)
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoolRoughlyBalanced(t *testing.T) {
+	r := New(3)
+	ones := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool() {
+			ones++
+		}
+	}
+	if ones < n*45/100 || ones > n*55/100 {
+		t.Fatalf("Bool bias: %d/%d ones", ones, n)
+	}
+}
+
+func TestSplitDecorrelates(t *testing.T) {
+	r := New(5)
+	s := r.Split()
+	same := 0
+	for i := 0; i < 64; i++ {
+		if r.Uint64() == s.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions after Split", same)
+	}
+}
+
+func TestUniformityChiSquareIsh(t *testing.T) {
+	// Very loose bucket-count check over 16 buckets.
+	r := New(2024)
+	const n = 160000
+	var buckets [16]int
+	for i := 0; i < n; i++ {
+		buckets[r.Intn(16)]++
+	}
+	for b, c := range buckets {
+		if c < n/16*9/10 || c > n/16*11/10 {
+			t.Fatalf("bucket %d count %d far from %d", b, c, n/16)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+// Package scoap implements SCOAP-style testability analysis (Goldstein's
+// controllability/observability measures) for the sequential netlists in
+// this repository. Controllabilities CC0/CC1 estimate the effort of setting
+// a line to 0/1; observability CO estimates the effort of propagating a
+// line's value to a primary output. Feedback through flip-flops is handled
+// by fixpoint relaxation with saturating arithmetic.
+//
+// The experiment harness uses the measures as an alternative ranking for
+// observation-point selection (hardest-to-observe lines first), benchmarked
+// against the paper's greedy covering procedure.
+package scoap
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/logic"
+)
+
+// Inf is the saturation bound for unreachable/uncontrollable lines.
+const Inf int32 = 1 << 30
+
+// Measures holds per-node testability values, indexed by NodeID.
+type Measures struct {
+	CC0, CC1 []int32 // controllability to 0 / 1
+	CO       []int32 // observability
+}
+
+func satAdd(a, b int32) int32 {
+	s := int64(a) + int64(b)
+	if s >= int64(Inf) {
+		return Inf
+	}
+	return int32(s)
+}
+
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Analyze computes the SCOAP measures of c. Primary inputs cost 1 to
+// control; flip-flop outputs cost one more than controlling their D input
+// (one time frame), and — when the circuit has a global reset (init is
+// logic.Zero or logic.One) — the reset value costs 1 directly; primary
+// outputs cost 0 to observe; flip-flop D inputs cost one more than observing
+// the flip-flop output. Iteration runs to a fixpoint, which exists because
+// the update functions are monotone and the value lattice is finite. A state
+// bit that cannot be driven to a value from the initial state keeps the
+// saturated cost Inf, which is the correct verdict (e.g. a toggle flip-flop
+// with an unknown power-up state can never be set to a known value).
+func Analyze(c *circuit.Circuit, init logic.V) *Measures {
+	n := len(c.Nodes)
+	m := &Measures{
+		CC0: make([]int32, n),
+		CC1: make([]int32, n),
+		CO:  make([]int32, n),
+	}
+	for i := 0; i < n; i++ {
+		m.CC0[i], m.CC1[i], m.CO[i] = Inf, Inf, Inf
+	}
+	for _, id := range c.Inputs {
+		m.CC0[id], m.CC1[id] = 1, 1
+	}
+	for _, id := range c.DFFs {
+		switch init {
+		case logic.Zero:
+			m.CC0[id] = 1
+		case logic.One:
+			m.CC1[id] = 1
+		}
+	}
+	// Controllability fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for _, id := range c.DFFs {
+			d := c.Nodes[id].Fanins[0]
+			if v := satAdd(m.CC0[d], 1); v < m.CC0[id] {
+				m.CC0[id] = v
+				changed = true
+			}
+			if v := satAdd(m.CC1[d], 1); v < m.CC1[id] {
+				m.CC1[id] = v
+				changed = true
+			}
+		}
+		for _, id := range c.Order {
+			cc0, cc1 := gateControllability(c, m, id)
+			if cc0 < m.CC0[id] {
+				m.CC0[id] = cc0
+				changed = true
+			}
+			if cc1 < m.CC1[id] {
+				m.CC1[id] = cc1
+				changed = true
+			}
+		}
+	}
+	// Observability fixpoint.
+	for _, id := range c.Outputs {
+		m.CO[id] = 0
+	}
+	for changed := true; changed; {
+		changed = false
+		// Flip-flop D pins: observing the D input needs one more frame than
+		// observing the flip-flop output.
+		for _, id := range c.DFFs {
+			d := c.Nodes[id].Fanins[0]
+			if v := satAdd(m.CO[id], 1); v < m.CO[d] {
+				m.CO[d] = v
+				changed = true
+			}
+		}
+		// Gates, deepest first (reverse topological order converges faster;
+		// correctness only needs the fixpoint).
+		for k := len(c.Order) - 1; k >= 0; k-- {
+			id := c.Order[k]
+			if propagateObservability(c, m, id) {
+				changed = true
+			}
+		}
+	}
+	return m
+}
+
+// gateControllability computes CC0/CC1 of a gate output from its fanins.
+func gateControllability(c *circuit.Circuit, m *Measures, id circuit.NodeID) (cc0, cc1 int32) {
+	n := &c.Nodes[id]
+	in := n.Fanins
+	sum := func(sel []int32) int32 {
+		var s int32 = 1
+		for _, f := range in {
+			s = satAdd(s, sel[f])
+		}
+		return s
+	}
+	minOf := func(sel []int32) int32 {
+		v := Inf
+		for _, f := range in {
+			v = min32(v, sel[f])
+		}
+		return satAdd(v, 1)
+	}
+	switch n.Type {
+	case circuit.Buf:
+		return satAdd(m.CC0[in[0]], 1), satAdd(m.CC1[in[0]], 1)
+	case circuit.Not:
+		return satAdd(m.CC1[in[0]], 1), satAdd(m.CC0[in[0]], 1)
+	case circuit.And:
+		return minOf(m.CC0), sum(m.CC1)
+	case circuit.Nand:
+		return sum(m.CC1), minOf(m.CC0)
+	case circuit.Or:
+		return sum(m.CC0), minOf(m.CC1)
+	case circuit.Nor:
+		return minOf(m.CC1), sum(m.CC0)
+	case circuit.Xor, circuit.Xnor:
+		even, odd := xorParityCosts(m, in)
+		if n.Type == circuit.Xor {
+			return satAdd(even, 1), satAdd(odd, 1)
+		}
+		return satAdd(odd, 1), satAdd(even, 1)
+	default:
+		return Inf, Inf
+	}
+}
+
+// xorParityCosts returns the cheapest cost of driving the fanins to even /
+// odd parity (dynamic program over the inputs).
+func xorParityCosts(m *Measures, in []circuit.NodeID) (even, odd int32) {
+	even, odd = 0, Inf
+	for _, f := range in {
+		e2 := min32(satAdd(even, m.CC0[f]), satAdd(odd, m.CC1[f]))
+		o2 := min32(satAdd(even, m.CC1[f]), satAdd(odd, m.CC0[f]))
+		even, odd = e2, o2
+	}
+	return even, odd
+}
+
+// propagateObservability improves the fanins' CO from the gate's CO.
+func propagateObservability(c *circuit.Circuit, m *Measures, id circuit.NodeID) bool {
+	n := &c.Nodes[id]
+	if m.CO[id] >= Inf {
+		return false
+	}
+	changed := false
+	improve := func(f circuit.NodeID, v int32) {
+		if v < m.CO[f] {
+			m.CO[f] = v
+			changed = true
+		}
+	}
+	switch n.Type {
+	case circuit.Buf, circuit.Not:
+		improve(n.Fanins[0], satAdd(m.CO[id], 1))
+	case circuit.And, circuit.Nand, circuit.Or, circuit.Nor:
+		// Side inputs must hold the non-controlling value.
+		var side []int32
+		if n.Type == circuit.And || n.Type == circuit.Nand {
+			side = m.CC1
+		} else {
+			side = m.CC0
+		}
+		for i, f := range n.Fanins {
+			cost := satAdd(m.CO[id], 1)
+			for j, g := range n.Fanins {
+				if j != i {
+					cost = satAdd(cost, side[g])
+				}
+			}
+			improve(f, cost)
+		}
+	case circuit.Xor, circuit.Xnor:
+		for i, f := range n.Fanins {
+			cost := satAdd(m.CO[id], 1)
+			for j, g := range n.Fanins {
+				if j != i {
+					cost = satAdd(cost, min32(m.CC0[g], m.CC1[g]))
+				}
+			}
+			improve(f, cost)
+		}
+	}
+	return changed
+}

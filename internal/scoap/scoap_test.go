@@ -1,0 +1,182 @@
+package scoap
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/iscas"
+	"repro/internal/logic"
+)
+
+func build(t *testing.T, f func(b *circuit.Builder)) *circuit.Circuit {
+	t.Helper()
+	b := circuit.NewBuilder("t")
+	f(b)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestAndGateMeasures(t *testing.T) {
+	c := build(t, func(b *circuit.Builder) {
+		b.Input("a")
+		b.Input("b")
+		b.Gate("g", circuit.And, "a", "b")
+		b.Output("g")
+	})
+	m := Analyze(c, logic.X)
+	a, _ := c.Lookup("a")
+	g, _ := c.Lookup("g")
+	// PIs: CC = 1. AND: CC1 = 1+1+1 = 3, CC0 = min(1,1)+1 = 2.
+	if m.CC0[a] != 1 || m.CC1[a] != 1 {
+		t.Fatalf("PI controllability: %d/%d", m.CC0[a], m.CC1[a])
+	}
+	if m.CC1[g] != 3 || m.CC0[g] != 2 {
+		t.Fatalf("AND controllability: CC0=%d CC1=%d", m.CC0[g], m.CC1[g])
+	}
+	// PO observability 0; input a: CO = 0 + CC1(b) + 1 = 2.
+	if m.CO[g] != 0 {
+		t.Fatalf("PO observability %d", m.CO[g])
+	}
+	if m.CO[a] != 2 {
+		t.Fatalf("input observability %d, want 2", m.CO[a])
+	}
+}
+
+func TestInverterChain(t *testing.T) {
+	c := build(t, func(b *circuit.Builder) {
+		b.Input("a")
+		b.Gate("n1", circuit.Not, "a")
+		b.Gate("n2", circuit.Not, "n1")
+		b.Output("n2")
+	})
+	m := Analyze(c, logic.X)
+	n1, _ := c.Lookup("n1")
+	n2, _ := c.Lookup("n2")
+	a, _ := c.Lookup("a")
+	if m.CC0[n1] != 2 || m.CC1[n1] != 2 {
+		t.Fatalf("n1: %d/%d", m.CC0[n1], m.CC1[n1])
+	}
+	if m.CC0[n2] != 3 || m.CC1[n2] != 3 {
+		t.Fatalf("n2: %d/%d", m.CC0[n2], m.CC1[n2])
+	}
+	if m.CO[n2] != 0 || m.CO[n1] != 1 || m.CO[a] != 2 {
+		t.Fatalf("CO chain: %d %d %d", m.CO[n2], m.CO[n1], m.CO[a])
+	}
+}
+
+func TestXorMeasures(t *testing.T) {
+	c := build(t, func(b *circuit.Builder) {
+		b.Input("a")
+		b.Input("b")
+		b.Gate("g", circuit.Xor, "a", "b")
+		b.Output("g")
+	})
+	m := Analyze(c, logic.X)
+	g, _ := c.Lookup("g")
+	a, _ := c.Lookup("a")
+	// XOR: CC0 = even parity cost + 1 = min(1+1, ...) + 1 = 3;
+	// CC1 = odd parity cost + 1 = 3.
+	if m.CC0[g] != 3 || m.CC1[g] != 3 {
+		t.Fatalf("XOR: CC0=%d CC1=%d", m.CC0[g], m.CC1[g])
+	}
+	// CO(a) = 0 + min(CC0(b),CC1(b)) + 1 = 2.
+	if m.CO[a] != 2 {
+		t.Fatalf("CO(a) = %d", m.CO[a])
+	}
+}
+
+func TestSequentialFeedbackConverges(t *testing.T) {
+	// Toggle flip-flop: q' = XOR(q, en). The fixpoint must terminate and
+	// produce finite measures (the state is reachable through en).
+	c := build(t, func(b *circuit.Builder) {
+		b.Input("en")
+		b.DFF("q", "d")
+		b.Gate("d", circuit.Xor, "q", "en")
+		b.Gate("out", circuit.Buf, "q")
+		b.Output("out")
+	})
+	m := Analyze(c, logic.Zero)
+	q, _ := c.Lookup("q")
+	if m.CC0[q] >= Inf || m.CC1[q] >= Inf {
+		t.Fatalf("feedback state uncontrollable: %d/%d", m.CC0[q], m.CC1[q])
+	}
+	if m.CO[q] >= Inf {
+		t.Fatalf("feedback state unobservable: %d", m.CO[q])
+	}
+	// Setting q needs at least one frame: CC must exceed the PI cost.
+	if m.CC1[q] <= 1 {
+		t.Fatalf("CC1(q) = %d, expected > 1 (one time frame)", m.CC1[q])
+	}
+}
+
+func TestDeadStateSaturates(t *testing.T) {
+	// A flip-flop fed by constant-0-ish logic: q' = AND(q, q) is just q, and
+	// q starts (conceptually) uncontrollable to 1: with no input driving it,
+	// CC1 must saturate at Inf.
+	c := build(t, func(b *circuit.Builder) {
+		b.Input("a")
+		b.DFF("q", "d")
+		b.Gate("d", circuit.Buf, "q") // pure self-loop
+		b.Gate("out", circuit.And, "a", "q")
+		b.Output("out")
+	})
+	m := Analyze(c, logic.X)
+	q, _ := c.Lookup("q")
+	if m.CC1[q] < Inf {
+		t.Fatalf("self-loop state claims controllable: CC1=%d", m.CC1[q])
+	}
+}
+
+func TestS27AllFinite(t *testing.T) {
+	c := iscas.MustLoad("s27")
+	m := Analyze(c, logic.X)
+	for id := range c.Nodes {
+		if m.CC0[id] >= Inf || m.CC1[id] >= Inf {
+			t.Errorf("node %s uncontrollable: %d/%d", c.Nodes[id].Name, m.CC0[id], m.CC1[id])
+		}
+		if m.CO[id] >= Inf {
+			t.Errorf("node %s unobservable: %d", c.Nodes[id].Name, m.CO[id])
+		}
+	}
+	// The single PO has observability 0.
+	g17, _ := c.Lookup("G17")
+	if m.CO[g17] != 0 {
+		t.Errorf("CO(G17) = %d", m.CO[g17])
+	}
+}
+
+func TestDeeperLinesHarderToObserve(t *testing.T) {
+	// In an inverter chain, observability must decrease monotonically toward
+	// the output.
+	c := build(t, func(b *circuit.Builder) {
+		b.Input("a")
+		prev := "a"
+		for i := 0; i < 6; i++ {
+			name := "n" + string(rune('0'+i))
+			b.Gate(name, circuit.Not, prev)
+			prev = name
+		}
+		b.Output("n5")
+	})
+	m := Analyze(c, logic.X)
+	prev, _ := c.Lookup("a")
+	for i := 0; i < 6; i++ {
+		id, _ := c.Lookup("n" + string(rune('0'+i)))
+		if m.CO[id] >= m.CO[prev] {
+			t.Fatalf("CO not decreasing toward PO at n%d: %d >= %d", i, m.CO[id], m.CO[prev])
+		}
+		prev = id
+	}
+}
+
+func TestSatAdd(t *testing.T) {
+	if satAdd(Inf, Inf) != Inf || satAdd(Inf-1, 5) != Inf {
+		t.Fatal("saturation broken")
+	}
+	if satAdd(3, 4) != 7 {
+		t.Fatal("plain add broken")
+	}
+}

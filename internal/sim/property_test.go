@@ -1,0 +1,114 @@
+package sim_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuit"
+	"repro/internal/iscas"
+	"repro/internal/logic"
+	"repro/internal/randutil"
+	"repro/internal/sim"
+)
+
+// TestTernaryMonotonicity verifies the fundamental soundness property of
+// 3-valued simulation: refining any X input to a binary value can change an
+// output only where the 3-valued simulation already said X. In other words,
+// every binary value the X-simulation produces is guaranteed correct for
+// *all* refinements.
+func TestTernaryMonotonicity(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := randutil.New(seed)
+		inputs := 2 + rng.Intn(4)
+		dffs := 1 + rng.Intn(4)
+		p := iscas.Profile{
+			Name:    "prop",
+			Inputs:  inputs,
+			Outputs: 1 + rng.Intn(3),
+			DFFs:    dffs,
+			// Keep the profile valid: the generator needs more gates than
+			// sources plus its per-flip-flop state-mix gates.
+			Gates:     2*(inputs+dffs) + 10 + rng.Intn(40),
+			Seed:      rng.Uint64(),
+			Synthetic: true,
+		}
+		c, err := iscas.Generate(p)
+		if err != nil {
+			t.Fatalf("profile %+v rejected: %v", p, err)
+		}
+		const l = 12
+		// Base sequence with random X holes.
+		base := sim.NewSequence(c.NumInputs())
+		refined := sim.NewSequence(c.NumInputs())
+		for u := 0; u < l; u++ {
+			bv := make([]logic.V, c.NumInputs())
+			rv := make([]logic.V, c.NumInputs())
+			for i := range bv {
+				bit := logic.FromBit(rng.Bool())
+				rv[i] = bit
+				if rng.Intn(3) == 0 {
+					bv[i] = logic.X
+				} else {
+					bv[i] = bit
+				}
+			}
+			base.Append(bv)
+			refined.Append(rv)
+		}
+		sBase := sim.New(c, logic.X)
+		sRef := sim.New(c, logic.Zero) // refined init too: 0 refines X
+		outBase := sBase.Run(base)
+		outRef := sRef.Run(refined)
+		for u := 0; u < l; u++ {
+			for k := range outBase[u] {
+				if outBase[u][k].IsBinary() && outBase[u][k] != outRef[u][k] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSimulatorStateIsolation checks that two simulators over the same
+// circuit never interfere.
+func TestSimulatorStateIsolation(t *testing.T) {
+	c := iscas.MustLoad("s27")
+	a := sim.New(c, logic.Zero)
+	b := sim.New(c, logic.Zero)
+	rng := randutil.New(9)
+	seqA := sim.RandomSequence(rng, c.NumInputs(), 30)
+	seqB := sim.RandomSequence(rng, c.NumInputs(), 30)
+	wantA := sim.New(c, logic.Zero).Run(seqA)
+	wantB := sim.New(c, logic.Zero).Run(seqB)
+	// Interleave.
+	a.Reset()
+	b.Reset()
+	for u := 0; u < 30; u++ {
+		oa := a.Step(seqA.Vecs[u])
+		ob := b.Step(seqB.Vecs[u])
+		for k := range oa {
+			if oa[k] != wantA[u][k] || ob[k] != wantB[u][k] {
+				t.Fatalf("interleaved simulators diverged at t=%d", u)
+			}
+		}
+	}
+}
+
+// TestEvalPanicsOnSequentialTypes pins the contract that Eval is only for
+// gates.
+func TestEvalPanicsOnSequentialTypes(t *testing.T) {
+	for _, bad := range []circuit.GateType{circuit.Input, circuit.DFF} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("sim.Eval(%v) did not panic", bad)
+				}
+			}()
+			sim.Eval(bad, []logic.V{logic.Zero})
+		}()
+	}
+}

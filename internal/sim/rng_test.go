@@ -1,0 +1,5 @@
+package sim
+
+import "repro/internal/randutil"
+
+func newTestRNG() *randutil.RNG { return randutil.New(1) }

@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/logic"
+	"repro/internal/randutil"
+)
+
+// Sequence is a test sequence for a circuit with a fixed number of primary
+// inputs: Vecs[u][i] is the value applied to input i at time unit u.
+type Sequence struct {
+	NumInputs int
+	Vecs      [][]logic.V
+}
+
+// NewSequence returns an empty sequence for n inputs.
+func NewSequence(n int) *Sequence {
+	return &Sequence{NumInputs: n}
+}
+
+// Len returns the number of time units.
+func (s *Sequence) Len() int { return len(s.Vecs) }
+
+// Append adds one vector (copied) to the end of the sequence.
+func (s *Sequence) Append(vec []logic.V) {
+	if len(vec) != s.NumInputs {
+		panic(fmt.Sprintf("sim: Append vector of width %d to sequence of width %d", len(vec), s.NumInputs))
+	}
+	cp := make([]logic.V, len(vec))
+	copy(cp, vec)
+	s.Vecs = append(s.Vecs, cp)
+}
+
+// At returns the value of input i at time u.
+func (s *Sequence) At(u, i int) logic.V { return s.Vecs[u][i] }
+
+// Input returns the projection T_i of the sequence onto input i (the paper's
+// notation): a slice of length Len.
+func (s *Sequence) Input(i int) []logic.V {
+	out := make([]logic.V, len(s.Vecs))
+	for u := range s.Vecs {
+		out[u] = s.Vecs[u][i]
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (s *Sequence) Clone() *Sequence {
+	c := NewSequence(s.NumInputs)
+	for _, v := range s.Vecs {
+		c.Append(v)
+	}
+	return c
+}
+
+// Slice returns a deep copy of time units [lo, hi).
+func (s *Sequence) Slice(lo, hi int) *Sequence {
+	c := NewSequence(s.NumInputs)
+	for u := lo; u < hi; u++ {
+		c.Append(s.Vecs[u])
+	}
+	return c
+}
+
+// Concat appends a deep copy of o to s.
+func (s *Sequence) Concat(o *Sequence) {
+	if o.NumInputs != s.NumInputs {
+		panic("sim: Concat width mismatch")
+	}
+	for _, v := range o.Vecs {
+		s.Append(v)
+	}
+}
+
+// String renders the sequence one vector per line, e.g. "0111\n1001".
+func (s *Sequence) String() string {
+	var b strings.Builder
+	for u, vec := range s.Vecs {
+		if u > 0 {
+			b.WriteByte('\n')
+		}
+		for _, v := range vec {
+			b.WriteString(v.String())
+		}
+	}
+	return b.String()
+}
+
+// ParseSequence parses the String format: one vector of '0'/'1'/'X' per line.
+func ParseSequence(text string) (*Sequence, error) {
+	var s *Sequence
+	for ln, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if s == nil {
+			s = NewSequence(len(line))
+		}
+		if len(line) != s.NumInputs {
+			return nil, fmt.Errorf("sim: line %d has width %d, want %d", ln+1, len(line), s.NumInputs)
+		}
+		vec := make([]logic.V, len(line))
+		for i := 0; i < len(line); i++ {
+			v, ok := logic.FromByte(line[i])
+			if !ok {
+				return nil, fmt.Errorf("sim: line %d: bad character %q", ln+1, line[i])
+			}
+			vec[i] = v
+		}
+		s.Vecs = append(s.Vecs, vec)
+	}
+	if s == nil {
+		return nil, fmt.Errorf("sim: empty sequence text")
+	}
+	return s, nil
+}
+
+// RandomSequence returns a sequence of length l of uniform random binary
+// vectors for n inputs.
+func RandomSequence(rng *randutil.RNG, n, l int) *Sequence {
+	s := NewSequence(n)
+	vec := make([]logic.V, n)
+	for u := 0; u < l; u++ {
+		for i := range vec {
+			vec[i] = logic.FromBit(rng.Bool())
+		}
+		s.Append(vec)
+	}
+	return s
+}

@@ -1,0 +1,141 @@
+// Package sim provides the scalar three-valued sequential logic simulator.
+// It is the reference implementation: the bit-parallel fault simulator in
+// package fsim is property-tested against it.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/logic"
+)
+
+// Simulator performs cycle-based three-valued simulation of one machine.
+type Simulator struct {
+	c     *circuit.Circuit
+	vals  []logic.V // current node values
+	state []logic.V // DFF outputs (present state), parallel to c.DFFs
+	init  logic.V
+}
+
+// New returns a simulator with all flip-flops initialised to init
+// (logic.Zero models a global reset; logic.X models an unknown power-up
+// state as in the raw ISCAS-89 benchmarks).
+func New(c *circuit.Circuit, init logic.V) *Simulator {
+	s := &Simulator{
+		c:     c,
+		vals:  make([]logic.V, len(c.Nodes)),
+		state: make([]logic.V, len(c.DFFs)),
+		init:  init,
+	}
+	s.Reset()
+	return s
+}
+
+// Reset restores every flip-flop to the initial value.
+func (s *Simulator) Reset() {
+	for i := range s.state {
+		s.state[i] = s.init
+	}
+}
+
+// SetState overwrites the present state (one value per flip-flop).
+func (s *Simulator) SetState(st []logic.V) {
+	if len(st) != len(s.state) {
+		panic(fmt.Sprintf("sim: SetState with %d values for %d flip-flops", len(st), len(s.state)))
+	}
+	copy(s.state, st)
+}
+
+// State returns a copy of the present state.
+func (s *Simulator) State() []logic.V {
+	out := make([]logic.V, len(s.state))
+	copy(out, s.state)
+	return out
+}
+
+// Value returns the value of node id computed by the last Step.
+func (s *Simulator) Value(id circuit.NodeID) logic.V { return s.vals[id] }
+
+// Eval evaluates a gate type over ternary fanin values.
+func Eval(t circuit.GateType, in []logic.V) logic.V {
+	switch t {
+	case circuit.Buf:
+		return in[0]
+	case circuit.Not:
+		return in[0].Not()
+	case circuit.And, circuit.Nand:
+		v := in[0]
+		for _, x := range in[1:] {
+			v = logic.And(v, x)
+		}
+		if t == circuit.Nand {
+			v = v.Not()
+		}
+		return v
+	case circuit.Or, circuit.Nor:
+		v := in[0]
+		for _, x := range in[1:] {
+			v = logic.Or(v, x)
+		}
+		if t == circuit.Nor {
+			v = v.Not()
+		}
+		return v
+	case circuit.Xor, circuit.Xnor:
+		v := in[0]
+		for _, x := range in[1:] {
+			v = logic.Xor(v, x)
+		}
+		if t == circuit.Xnor {
+			v = v.Not()
+		}
+		return v
+	default:
+		panic(fmt.Sprintf("sim: Eval on non-gate type %v", t))
+	}
+}
+
+// Step applies one input vector, evaluates the combinational network, clocks
+// the flip-flops, and returns the primary-output values observed in this time
+// unit (before the clock edge).
+func (s *Simulator) Step(inputs []logic.V) []logic.V {
+	c := s.c
+	if len(inputs) != len(c.Inputs) {
+		panic(fmt.Sprintf("sim: Step with %d inputs for circuit with %d", len(inputs), len(c.Inputs)))
+	}
+	for k, id := range c.Inputs {
+		s.vals[id] = inputs[k]
+	}
+	for k, id := range c.DFFs {
+		s.vals[id] = s.state[k]
+	}
+	var fan [8]logic.V
+	for _, id := range c.Order {
+		n := &c.Nodes[id]
+		in := fan[:0]
+		for _, f := range n.Fanins {
+			in = append(in, s.vals[f])
+		}
+		s.vals[id] = Eval(n.Type, in)
+	}
+	outs := make([]logic.V, len(c.Outputs))
+	for k, id := range c.Outputs {
+		outs[k] = s.vals[id]
+	}
+	for k, id := range c.DFFs {
+		s.state[k] = s.vals[c.Nodes[id].Fanins[0]]
+	}
+	return outs
+}
+
+// Run resets the simulator and applies the whole sequence, returning the
+// primary-output response, one vector per time unit.
+func (s *Simulator) Run(seq *Sequence) [][]logic.V {
+	s.Reset()
+	out := make([][]logic.V, seq.Len())
+	for u := 0; u < seq.Len(); u++ {
+		out[u] = s.Step(seq.Vecs[u])
+	}
+	return out
+}

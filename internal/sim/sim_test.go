@@ -1,0 +1,293 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/logic"
+)
+
+// shiftRegister builds an n-bit shift register: in -> q0 -> q1 -> ... with
+// the last stage as output (through a BUF so there is a PO gate).
+func shiftRegister(t *testing.T, n int) *circuit.Circuit {
+	t.Helper()
+	b := circuit.NewBuilder("shift")
+	b.Input("in")
+	prev := "in"
+	for i := 0; i < n; i++ {
+		name := "q" + string(rune('0'+i))
+		b.DFF(name, prev)
+		prev = name
+	}
+	b.Gate("out", circuit.Buf, prev)
+	b.Output("out")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestShiftRegister(t *testing.T) {
+	c := shiftRegister(t, 3)
+	s := New(c, logic.Zero)
+	seq, err := ParseSequence("1\n0\n1\n1\n0\n0\n0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := s.Run(seq)
+	// Output at time u is the input from u-3 (zeros before that).
+	want := []logic.V{logic.Zero, logic.Zero, logic.Zero, logic.One, logic.Zero, logic.One, logic.One}
+	for u := range want {
+		if out[u][0] != want[u] {
+			t.Errorf("t=%d: out=%v want %v", u, out[u][0], want[u])
+		}
+	}
+}
+
+func TestToggleFlipFlop(t *testing.T) {
+	// q' = q XOR en; out = q.
+	b := circuit.NewBuilder("toggle")
+	b.Input("en")
+	b.DFF("q", "d")
+	b.Gate("d", circuit.Xor, "q", "en")
+	b.Gate("out", circuit.Buf, "q")
+	b.Output("out")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(c, logic.Zero)
+	seq, _ := ParseSequence("1\n1\n0\n1")
+	out := s.Run(seq)
+	want := []logic.V{logic.Zero, logic.One, logic.Zero, logic.Zero}
+	for u := range want {
+		if out[u][0] != want[u] {
+			t.Errorf("t=%d: out=%v want %v", u, out[u][0], want[u])
+		}
+	}
+}
+
+func TestXInitialStateResolves(t *testing.T) {
+	// With X initial state, loading a known value through the D input must
+	// resolve the state.
+	c := shiftRegister(t, 2)
+	s := New(c, logic.X)
+	seq, _ := ParseSequence("1\n1\n1")
+	out := s.Run(seq)
+	if out[0][0] != logic.X || out[1][0] != logic.X {
+		t.Errorf("outputs before fill should be X: %v %v", out[0][0], out[1][0])
+	}
+	if out[2][0] != logic.One {
+		t.Errorf("t=2: out=%v want 1", out[2][0])
+	}
+}
+
+func TestXPropagationThroughGates(t *testing.T) {
+	// AND(X, 0) = 0 even with unknowns; OR(X, 1) = 1.
+	b := circuit.NewBuilder("xprop")
+	b.Input("a")
+	b.DFF("q", "q2buf") // stays X forever if never driven binary
+	b.Gate("q2buf", circuit.Buf, "q")
+	b.Gate("and", circuit.And, "a", "q")
+	b.Gate("or", circuit.Or, "a", "q")
+	b.Output("and")
+	b.Output("or")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(c, logic.X)
+	out := s.Step([]logic.V{logic.Zero})
+	if out[0] != logic.Zero {
+		t.Errorf("AND(0,X) = %v, want 0", out[0])
+	}
+	if out[1] != logic.X {
+		t.Errorf("OR(0,X) = %v, want X", out[1])
+	}
+	out = s.Step([]logic.V{logic.One})
+	if out[0] != logic.X {
+		t.Errorf("AND(1,X) = %v, want X", out[0])
+	}
+	if out[1] != logic.One {
+		t.Errorf("OR(1,X) = %v, want 1", out[1])
+	}
+}
+
+func TestEvalAllGateTypes(t *testing.T) {
+	in2 := [][]logic.V{
+		{logic.Zero, logic.Zero}, {logic.Zero, logic.One},
+		{logic.One, logic.Zero}, {logic.One, logic.One},
+	}
+	type tc struct {
+		t    circuit.GateType
+		want [4]logic.V
+	}
+	cases := []tc{
+		{circuit.And, [4]logic.V{0, 0, 0, 1}},
+		{circuit.Nand, [4]logic.V{1, 1, 1, 0}},
+		{circuit.Or, [4]logic.V{0, 1, 1, 1}},
+		{circuit.Nor, [4]logic.V{1, 0, 0, 0}},
+		{circuit.Xor, [4]logic.V{0, 1, 1, 0}},
+		{circuit.Xnor, [4]logic.V{1, 0, 0, 1}},
+	}
+	for _, c := range cases {
+		for k, in := range in2 {
+			if got := Eval(c.t, in); got != c.want[k] {
+				t.Errorf("%v%v = %v, want %v", c.t, in, got, c.want[k])
+			}
+		}
+	}
+	if Eval(circuit.Not, []logic.V{logic.Zero}) != logic.One {
+		t.Error("NOT(0) != 1")
+	}
+	if Eval(circuit.Buf, []logic.V{logic.One}) != logic.One {
+		t.Error("BUF(1) != 1")
+	}
+	// 3-input gates reduce left to right.
+	if Eval(circuit.Xor, []logic.V{1, 1, 1}) != logic.One {
+		t.Error("XOR(1,1,1) != 1")
+	}
+	if Eval(circuit.And, []logic.V{1, 1, 0}) != logic.Zero {
+		t.Error("AND(1,1,0) != 0")
+	}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	c := shiftRegister(t, 3)
+	s := New(c, logic.Zero)
+	s.Step([]logic.V{logic.One})
+	st := s.State()
+	if len(st) != 3 {
+		t.Fatalf("state length %d", len(st))
+	}
+	s2 := New(c, logic.Zero)
+	s2.SetState(st)
+	// Both simulators must now behave identically.
+	for u := 0; u < 5; u++ {
+		in := []logic.V{logic.FromBit(u%2 == 0)}
+		a := s.Step(in)
+		b := s2.Step(in)
+		if a[0] != b[0] {
+			t.Fatalf("t=%d: outputs diverge", u)
+		}
+	}
+}
+
+func TestSequenceHelpers(t *testing.T) {
+	seq, err := ParseSequence("01\n10\nX1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Len() != 3 || seq.NumInputs != 2 {
+		t.Fatalf("shape: %d x %d", seq.Len(), seq.NumInputs)
+	}
+	p := seq.Input(1)
+	if p[0] != logic.One || p[1] != logic.Zero || p[2] != logic.One {
+		t.Fatalf("projection: %v", p)
+	}
+	if seq.At(2, 0) != logic.X {
+		t.Fatal("At(2,0) should be X")
+	}
+	cl := seq.Clone()
+	cl.Vecs[0][0] = logic.One
+	if seq.Vecs[0][0] != logic.Zero {
+		t.Fatal("Clone is shallow")
+	}
+	sl := seq.Slice(1, 3)
+	if sl.Len() != 2 || sl.At(0, 0) != logic.One {
+		t.Fatal("Slice wrong")
+	}
+	cat := seq.Clone()
+	cat.Concat(sl)
+	if cat.Len() != 5 {
+		t.Fatal("Concat wrong")
+	}
+	rt, err := ParseSequence(seq.String())
+	if err != nil {
+		t.Fatalf("String/Parse round trip: %v", err)
+	}
+	if rt.String() != seq.String() {
+		t.Fatal("round trip changed sequence")
+	}
+}
+
+func TestParseSequenceErrors(t *testing.T) {
+	for _, text := range []string{"", "01\n012", "0a"} {
+		if _, err := ParseSequence(text); err == nil {
+			t.Errorf("ParseSequence(%q) accepted", text)
+		}
+	}
+}
+
+func TestRandomSequenceShape(t *testing.T) {
+	// Deterministic via randutil; imported indirectly to keep this package's
+	// dependencies minimal in tests.
+	seq := RandomSequence(newTestRNG(), 5, 20)
+	if seq.Len() != 20 || seq.NumInputs != 5 {
+		t.Fatalf("shape %dx%d", seq.Len(), seq.NumInputs)
+	}
+	for _, vec := range seq.Vecs {
+		for _, v := range vec {
+			if !v.IsBinary() {
+				t.Fatal("random sequence contains X")
+			}
+		}
+	}
+}
+
+func TestStepPanicsOnWidthMismatch(t *testing.T) {
+	c := shiftRegister(t, 1)
+	s := New(c, logic.Zero)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Step([]logic.V{logic.Zero, logic.Zero})
+}
+
+func TestAppendPanicsOnWidthMismatch(t *testing.T) {
+	s := NewSequence(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Append([]logic.V{logic.Zero})
+}
+
+func TestSetStatePanicsOnWidthMismatch(t *testing.T) {
+	c := shiftRegister(t, 2)
+	s := New(c, logic.Zero)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.SetState([]logic.V{logic.Zero})
+}
+
+func TestRunResets(t *testing.T) {
+	c := shiftRegister(t, 1)
+	s := New(c, logic.Zero)
+	one, _ := ParseSequence("1\n1")
+	zero, _ := ParseSequence("0\n0")
+	s.Run(one)
+	out := s.Run(zero)
+	if out[0][0] != logic.Zero {
+		t.Fatal("Run did not reset state")
+	}
+}
+
+func TestS27FormatRoundTripThroughStrings(t *testing.T) {
+	text := "0111\n1001\n0111"
+	seq, err := ParseSequence(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.EqualFold(seq.String(), text) {
+		t.Fatalf("round trip: %q vs %q", seq.String(), text)
+	}
+}

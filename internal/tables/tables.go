@@ -1,0 +1,100 @@
+// Package tables renders fixed-width text tables for the experiment
+// harness, in the visual style of the paper's result tables.
+package tables
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Table is a simple text table with a title, a header row and data rows.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// New returns a table with the given title and column headers.
+func New(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// Add appends a row; the cell count must match the header count.
+func (t *Table) Add(cells ...string) {
+	if len(cells) != len(t.Headers) {
+		panic(fmt.Sprintf("tables: row with %d cells for %d columns", len(cells), len(t.Headers)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table, right-aligning numeric-looking cells.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			pad := widths[i] - len(c)
+			if isNumeric(c) {
+				b.WriteString(strings.Repeat(" ", pad))
+				b.WriteString(c)
+			} else {
+				b.WriteString(c)
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := len(widths)*2 - 2
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func isNumeric(s string) bool {
+	if s == "" {
+		return false
+	}
+	if _, err := strconv.ParseFloat(s, 64); err == nil {
+		return true
+	}
+	return false
+}
+
+// Int formats an integer cell.
+func Int(v int) string { return strconv.Itoa(v) }
+
+// F1 formats a float with one decimal (the paper's fault-efficiency style).
+func F1(v float64) string { return strconv.FormatFloat(v, 'f', 1, 64) }
+
+// F2 formats a float with two decimals.
+func F2(v float64) string { return strconv.FormatFloat(v, 'f', 2, 64) }
+
+// Pct formats a ratio as a percentage with one decimal.
+func Pct(v float64) string { return F1(100 * v) }

@@ -1,0 +1,72 @@
+package tables
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	tb := New("Table X", "circuit", "len", "f.e.")
+	tb.Add("s27", "10", "100.0")
+	tb.Add("s298", "117", "99.6")
+	var b strings.Builder
+	if err := tb.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Table X") || !strings.Contains(out, "s298") {
+		t.Fatalf("output missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+	// Numeric columns right-aligned: the "10" in row 1 should be preceded by
+	// a space (width of "len" is 3).
+	if !strings.Contains(lines[3], " 10") {
+		t.Errorf("numeric right-alignment missing: %q", lines[3])
+	}
+}
+
+func TestAddPanicsOnWidthMismatch(t *testing.T) {
+	tb := New("", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tb.Add("only-one")
+}
+
+func TestFormatters(t *testing.T) {
+	if Int(42) != "42" {
+		t.Error("Int")
+	}
+	if F1(93.44) != "93.4" {
+		t.Error("F1")
+	}
+	if F2(99.999) != "100.00" {
+		t.Error("F2")
+	}
+	if Pct(0.5) != "50.0" {
+		t.Error("Pct")
+	}
+}
+
+func TestIsNumeric(t *testing.T) {
+	if !isNumeric("3.14") || !isNumeric("10") || isNumeric("s27") || isNumeric("") {
+		t.Fatal("isNumeric wrong")
+	}
+}
+
+func TestRenderNoTitle(t *testing.T) {
+	tb := New("", "x")
+	tb.Add("1")
+	var b strings.Builder
+	if err := tb.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.HasPrefix(b.String(), "\n") {
+		t.Fatal("leading newline with empty title")
+	}
+}

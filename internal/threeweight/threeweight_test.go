@@ -1,0 +1,158 @@
+package threeweight
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/iscas"
+	"repro/internal/lfsr"
+	"repro/internal/logic"
+	"repro/internal/sim"
+)
+
+func TestIntersect(t *testing.T) {
+	seq, err := sim.ParseSequence("0101\n0111\n0011")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Intersect(seq, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// input 0: 0,0,0 -> W0; input 1: 1,1,0 -> WHalf; input 2: 0,1,1 -> WHalf;
+	// input 3: 1,1,1 -> W1.
+	want := Assignment{W0, WHalf, WHalf, W1}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Fatalf("weight[%d] = %v, want %v", i, a[i], want[i])
+		}
+	}
+	if a.String() != "(0, 0.5, 0.5, 1)" {
+		t.Fatalf("String = %q", a.String())
+	}
+}
+
+func TestIntersectWithX(t *testing.T) {
+	seq, err := sim.ParseSequence("X\n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Intersect(seq, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != WHalf {
+		t.Fatalf("X column should give 0.5, got %v", a[0])
+	}
+}
+
+func TestIntersectWindowErrors(t *testing.T) {
+	seq, _ := sim.ParseSequence("01\n10")
+	for _, w := range [][2]int{{-1, 0}, {0, 2}, {1, 0}} {
+		if _, err := Intersect(seq, w[0], w[1]); err == nil {
+			t.Errorf("window %v accepted", w)
+		}
+	}
+}
+
+func TestDerive(t *testing.T) {
+	seq, _ := sim.ParseSequence(iscas.S27TestSequence)
+	det := []int{9, 9, 5, 3, 3, 0, -1}
+	as, err := Derive(seq, det, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) == 0 || len(as) > 4 {
+		t.Fatalf("%d assignments derived", len(as))
+	}
+	for _, a := range as {
+		if len(a) != 4 {
+			t.Fatalf("assignment width %d", len(a))
+		}
+	}
+	// Duplicates must be suppressed, cap must hold.
+	capped, err := Derive(seq, det, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(capped) != 1 {
+		t.Fatalf("cap ignored: %d", len(capped))
+	}
+}
+
+func TestDeriveErrors(t *testing.T) {
+	seq, _ := sim.ParseSequence("01\n10")
+	if _, err := Derive(seq, []int{0}, 0, 5); err == nil {
+		t.Error("zero window accepted")
+	}
+	if _, err := Derive(seq, []int{-1}, 2, 5); err == nil {
+		t.Error("no valid detection times accepted")
+	}
+}
+
+func TestGenSequenceRespectsWeights(t *testing.T) {
+	src, _ := lfsr.New(16, 1)
+	a := Assignment{W0, W1, WHalf}
+	seq := GenSequence(a, 200, src)
+	ones := 0
+	for u := 0; u < seq.Len(); u++ {
+		if seq.At(u, 0) != logic.Zero {
+			t.Fatal("W0 input not constant 0")
+		}
+		if seq.At(u, 1) != logic.One {
+			t.Fatal("W1 input not constant 1")
+		}
+		if seq.At(u, 2) == logic.One {
+			ones++
+		}
+	}
+	if ones < 60 || ones > 140 {
+		t.Fatalf("WHalf bias: %d/200 ones", ones)
+	}
+}
+
+func TestEvaluateBaselineOnS27(t *testing.T) {
+	c := iscas.MustLoad("s27")
+	seq, _ := sim.ParseSequence(iscas.S27TestSequence)
+	faults := fault.CollapsedUniverse(c)
+	out := fsim.Run(c, seq, faults, fsim.Options{Init: logic.X})
+	var targets []fault.Fault
+	var det []int
+	for i := range faults {
+		if out.Detected[i] {
+			targets = append(targets, faults[i])
+			det = append(det, out.DetTime[i])
+		}
+	}
+	as, err := Derive(seq, det, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Evaluate(c, as, targets, 500, logic.X, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumDetected == 0 {
+		t.Fatal("baseline detected nothing at all")
+	}
+	if res.NumDetected > len(targets) {
+		t.Fatal("detected more than targets")
+	}
+	sum := 0
+	for _, n := range res.PerAssignment {
+		sum += n
+	}
+	if sum != res.NumDetected {
+		t.Fatalf("per-assignment sum %d != total %d", sum, res.NumDetected)
+	}
+	if res.Coverage(len(targets)) <= 0 || res.Coverage(len(targets)) > 1 {
+		t.Fatalf("coverage %v out of range", res.Coverage(len(targets)))
+	}
+}
+
+func TestWeightString(t *testing.T) {
+	if W0.String() != "0" || WHalf.String() != "0.5" || W1.String() != "1" {
+		t.Fatal("Weight.String wrong")
+	}
+}

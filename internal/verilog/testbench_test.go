@@ -1,0 +1,74 @@
+package verilog
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/iscas"
+	"repro/internal/logic"
+	"repro/internal/randutil"
+	"repro/internal/sim"
+)
+
+func TestWriteTestbenchStructure(t *testing.T) {
+	c := iscas.MustLoad("s298")
+	seq := sim.RandomSequence(randutil.New(1), c.NumInputs(), 5)
+	var b strings.Builder
+	if err := WriteTestbench(&b, c, seq, logic.Zero); err != nil {
+		t.Fatal(err)
+	}
+	v := b.String()
+	for _, want := range []string{
+		"module s298_tb;",
+		"s298 dut(.clk(clk), .reset(reset)",
+		"always #5 clk = ~clk;",
+		"task check",
+		"$finish;",
+		"endmodule",
+	} {
+		if !strings.Contains(v, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	// One @(negedge clk) per vector plus the reset release.
+	if n := strings.Count(v, "@(negedge clk);"); n != seq.Len()+1 {
+		t.Errorf("%d clock waits for %d vectors", n, seq.Len())
+	}
+	// Expected values must be binary literals.
+	if strings.Contains(v, "1'bX") {
+		t.Error("X leaked into expected values")
+	}
+}
+
+func TestWriteTestbenchChecksCount(t *testing.T) {
+	// With reset-to-0 all outputs are binary, so every (cycle, output) pair
+	// must be checked.
+	c := iscas.MustLoad("s298")
+	seq := sim.RandomSequence(randutil.New(2), c.NumInputs(), 7)
+	var b strings.Builder
+	if err := WriteTestbench(&b, c, seq, logic.Zero); err != nil {
+		t.Fatal(err)
+	}
+	want := seq.Len() * c.NumOutputs()
+	if n := strings.Count(b.String(), "    check("); n != want {
+		t.Errorf("%d checks, want %d", n, want)
+	}
+}
+
+func TestWriteTestbenchRejectsXInit(t *testing.T) {
+	c := iscas.MustLoad("s27")
+	seq := sim.RandomSequence(randutil.New(3), c.NumInputs(), 4)
+	var b strings.Builder
+	if err := WriteTestbench(&b, c, seq, logic.X); err == nil {
+		t.Fatal("X init accepted")
+	}
+}
+
+func TestWriteTestbenchRejectsWidthMismatch(t *testing.T) {
+	c := iscas.MustLoad("s27")
+	seq := sim.RandomSequence(randutil.New(4), 2, 4)
+	var b strings.Builder
+	if err := WriteTestbench(&b, c, seq, logic.Zero); err == nil {
+		t.Fatal("width mismatch accepted")
+	}
+}

@@ -1,0 +1,179 @@
+package verilog
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/iscas"
+	"repro/internal/wgen"
+)
+
+func TestSanitize(t *testing.T) {
+	cases := map[string]string{
+		"G17":    "G17",
+		"w3_s_1": "w3_s_1",
+		"9lives": "n9lives",
+		"a.b":    "ax2eb",
+		"":       "n",
+		"module": "module_",
+		"assign": "assign_",
+		"clk2":   "clk2",
+	}
+	for in, want := range cases {
+		if got := Sanitize(in); got != want {
+			t.Errorf("Sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWriteS27(t *testing.T) {
+	c := iscas.MustLoad("s27")
+	var b strings.Builder
+	if err := Write(&b, c); err != nil {
+		t.Fatal(err)
+	}
+	v := b.String()
+	for _, want := range []string{
+		"module s27(clk, reset, G0, G1, G2, G3, G17);",
+		"input G0;",
+		"output G17;",
+		"reg G5;",
+		"assign G14 = ~G0;",
+		"assign G8 = G14 & G6;",
+		"assign G9 = ~(G16 & G15);",
+		"assign G10 = ~(G14 | G11);",
+		"G5 <= G10;",
+		"G5 <= 1'b0;",
+		"endmodule",
+	} {
+		if !strings.Contains(v, want) {
+			t.Errorf("missing %q in output:\n%s", want, v)
+		}
+	}
+	// Every gate appears exactly once as an assign target.
+	if n := strings.Count(v, "assign G17 ="); n != 1 {
+		t.Errorf("G17 assigned %d times", n)
+	}
+}
+
+func TestWriteInputAsOutput(t *testing.T) {
+	b := circuit.NewBuilder("io")
+	b.Input("a")
+	b.Gate("g", circuit.Not, "a")
+	b.Output("a")
+	b.Output("g")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Write(&sb, c); err != nil {
+		t.Fatal(err)
+	}
+	v := sb.String()
+	if !strings.Contains(v, "output a_po;") || !strings.Contains(v, "assign a_po = a;") {
+		t.Fatalf("input-as-output not rewired:\n%s", v)
+	}
+}
+
+func TestWriteDFFAsOutput(t *testing.T) {
+	b := circuit.NewBuilder("ffo")
+	b.Input("a")
+	b.DFF("q", "g")
+	b.Gate("g", circuit.Buf, "a")
+	b.Output("q")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Write(&sb, c); err != nil {
+		t.Fatal(err)
+	}
+	v := sb.String()
+	if !strings.Contains(v, "output q_po;") || !strings.Contains(v, "assign q_po = q;") {
+		t.Fatalf("dff-as-output not rewired:\n%s", v)
+	}
+}
+
+func TestWriteAllGateTypes(t *testing.T) {
+	b := circuit.NewBuilder("gates")
+	b.Input("a")
+	b.Input("b")
+	b.Gate("g_and", circuit.And, "a", "b")
+	b.Gate("g_nand", circuit.Nand, "a", "b")
+	b.Gate("g_or", circuit.Or, "a", "b")
+	b.Gate("g_nor", circuit.Nor, "a", "b")
+	b.Gate("g_xor", circuit.Xor, "a", "b")
+	b.Gate("g_xnor", circuit.Xnor, "a", "b")
+	b.Gate("g_buf", circuit.Buf, "a")
+	b.Gate("g_not", circuit.Not, "a")
+	b.Gate("top", circuit.Or, "g_and", "g_nand", "g_or", "g_nor", "g_xor", "g_xnor", "g_buf", "g_not")
+	b.Output("top")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Write(&sb, c); err != nil {
+		t.Fatal(err)
+	}
+	v := sb.String()
+	for _, want := range []string{
+		"a & b", "~(a & b)", "a | b", "~(a | b)", "a ^ b", "~(a ^ b)",
+		"assign g_buf = a;", "assign g_not = ~a;",
+	} {
+		if !strings.Contains(v, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	// No DFFs: no always block.
+	if strings.Contains(v, "always") {
+		t.Error("always block without flip-flops")
+	}
+}
+
+func TestWriteSynthesizedGenerator(t *testing.T) {
+	omega := []core.Assignment{
+		{Subs: []string{"01", "0", "100", "1"}},
+		{Subs: []string{"100", "00", "01", "100"}},
+	}
+	g, err := wgen.Synthesize("gen27", omega, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Write(&sb, g.Circuit); err != nil {
+		t.Fatal(err)
+	}
+	v := sb.String()
+	if !strings.Contains(v, "module gen27(") {
+		t.Fatal("module header missing")
+	}
+	// One output per CUT input.
+	for _, po := range []string{"I0", "I1", "I2", "I3"} {
+		if !strings.Contains(v, "output "+po) {
+			t.Errorf("missing output %s", po)
+		}
+	}
+	// The flip-flop count must match the netlist.
+	if n := strings.Count(v, "  reg "); n != g.NumDFFs {
+		t.Errorf("%d reg declarations for %d flip-flops", n, g.NumDFFs)
+	}
+}
+
+func TestWriteDeterministic(t *testing.T) {
+	c := iscas.MustLoad("s298")
+	var a, b strings.Builder
+	if err := Write(&a, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&b, c); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("output not deterministic")
+	}
+}

@@ -1,0 +1,279 @@
+package wgen
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lfsr"
+	"repro/internal/logic"
+	"repro/internal/sim"
+)
+
+// simulate runs the circuit with EN=1 for n cycles from reset.
+func simulate(t *testing.T, s *sim.Simulator, numOutputs, n int) [][]logic.V {
+	t.Helper()
+	out := make([][]logic.V, n)
+	s.Reset()
+	for u := 0; u < n; u++ {
+		out[u] = s.Step([]logic.V{logic.One})
+	}
+	return out
+}
+
+func TestSynthesizeFSMPaperTable3(t *testing.T) {
+	// Table 3: one FSM producing 00010, 01011 and 11001 repeatedly.
+	subs := []string{"00010", "01011", "11001"}
+	c, fsm, err := SynthesizeFSM("table3", subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fsm.StateBits != 3 {
+		t.Fatalf("state bits = %d, want ceil(log2 5) = 3", fsm.StateBits)
+	}
+	s := sim.New(c, logic.Zero)
+	out := simulate(t, s, len(subs), 17)
+	for u := 0; u < 17; u++ {
+		for k, alpha := range subs {
+			want := logic.FromBit(alpha[u%5] == '1')
+			if out[u][k] != want {
+				t.Fatalf("t=%d output z%d = %v, want %v (α=%s)", u, k, out[u][k], want, alpha)
+			}
+		}
+	}
+}
+
+func TestSynthesizeFSMLengthOne(t *testing.T) {
+	c, fsm, err := SynthesizeFSM("l1", []string{"1", "0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fsm.StateBits != 0 {
+		t.Fatalf("state bits = %d, want 0", fsm.StateBits)
+	}
+	s := sim.New(c, logic.Zero)
+	out := simulate(t, s, 2, 4)
+	for u := 0; u < 4; u++ {
+		if out[u][0] != logic.One || out[u][1] != logic.Zero {
+			t.Fatalf("t=%d constants wrong: %v", u, out[u])
+		}
+	}
+}
+
+func TestSynthesizeFSMErrors(t *testing.T) {
+	if _, _, err := SynthesizeFSM("bad", nil); err == nil {
+		t.Error("empty set accepted")
+	}
+	if _, _, err := SynthesizeFSM("bad", []string{"01", "011"}); err == nil {
+		t.Error("unequal lengths accepted")
+	}
+	if _, _, err := SynthesizeFSM("bad", []string{""}); err == nil {
+		t.Error("empty subsequence accepted")
+	}
+}
+
+func TestSynthesizeFSMPowerOfTwoLength(t *testing.T) {
+	subs := []string{"0110", "1001", "1111", "0000"}
+	c, fsm, err := SynthesizeFSM("p2", subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fsm.StateBits != 2 {
+		t.Fatalf("state bits = %d", fsm.StateBits)
+	}
+	s := sim.New(c, logic.Zero)
+	out := simulate(t, s, len(subs), 12)
+	for u := 0; u < 12; u++ {
+		for k, alpha := range subs {
+			if out[u][k] != logic.FromBit(alpha[u%4] == '1') {
+				t.Fatalf("t=%d z%d wrong", u, k)
+			}
+		}
+	}
+}
+
+// checkGenerator verifies a synthesized generator against the software
+// weighted sequences for all assignment windows.
+func checkGenerator(t *testing.T, omega []core.Assignment, lg int) *Generator {
+	t.Helper()
+	g, err := Synthesize("gen", omega, lg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.New(g.Circuit, logic.Zero)
+	total := len(omega) * lg
+	out := simulate(t, s, len(omega[0].Subs), total)
+	for j, a := range omega {
+		want := a.GenSequence(lg)
+		for u := 0; u < lg; u++ {
+			for i := range a.Subs {
+				got := out[j*lg+u][i]
+				if got != want.At(u, i) {
+					t.Fatalf("assignment %d time %d input %d: generator %v, software %v",
+						j, u, i, got, want.At(u, i))
+				}
+			}
+		}
+	}
+	return g
+}
+
+func TestSynthesizeFigure1PaperExample(t *testing.T) {
+	// The s27 example of Section 2: best and second-best weight assignments.
+	omega := []core.Assignment{
+		{Subs: []string{"01", "0", "100", "1"}},
+		{Subs: []string{"100", "00", "01", "100"}},
+	}
+	g := checkGenerator(t, omega, 12)
+	// FSMs after primitive reduction: lengths {1, 2, 3} ("00"→"0").
+	if len(g.FSMs) != 3 {
+		t.Fatalf("FSM count = %d, want 3", len(g.FSMs))
+	}
+}
+
+func TestSynthesizeSingleAssignment(t *testing.T) {
+	omega := []core.Assignment{{Subs: []string{"011", "1"}}}
+	checkGenerator(t, omega, 9)
+}
+
+func TestSynthesizeManyAssignmentsNonPowerOfTwo(t *testing.T) {
+	// 5 assignments exercise the incomplete mux tree and 3-bit assignment
+	// counter.
+	omega := []core.Assignment{
+		{Subs: []string{"0", "1"}},
+		{Subs: []string{"01", "10"}},
+		{Subs: []string{"110", "001"}},
+		{Subs: []string{"1", "0110"}},
+		{Subs: []string{"10", "111"}},
+	}
+	checkGenerator(t, omega, 8)
+}
+
+func TestSynthesizeWindowResetsFSMs(t *testing.T) {
+	// With lg not a multiple of the subsequence lengths, the second window
+	// only matches the software model if the FSM counters are cleared at the
+	// window boundary. lg=7 vs lengths 2 and 3 exercises that.
+	omega := []core.Assignment{
+		{Subs: []string{"01", "100"}},
+		{Subs: []string{"10", "110"}},
+	}
+	checkGenerator(t, omega, 7)
+}
+
+func TestSynthesizeErrors(t *testing.T) {
+	if _, err := Synthesize("g", nil, 10); err == nil {
+		t.Error("empty omega accepted")
+	}
+	if _, err := Synthesize("g", []core.Assignment{{Subs: []string{"01"}}}, 1); err == nil {
+		t.Error("lg=1 accepted")
+	}
+	bad := []core.Assignment{{Subs: []string{"01"}}, {Subs: []string{"01", "1"}}}
+	if _, err := Synthesize("g", bad, 10); err == nil {
+		t.Error("inconsistent widths accepted")
+	}
+}
+
+func TestGeneratorStatsPopulated(t *testing.T) {
+	omega := []core.Assignment{
+		{Subs: []string{"01", "0"}},
+		{Subs: []string{"1", "100"}},
+	}
+	g, err := Synthesize("g", omega, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumGates <= 0 || g.NumDFFs <= 0 {
+		t.Fatalf("stats not populated: %d gates, %d DFFs", g.NumGates, g.NumDFFs)
+	}
+	if g.NumAssignments != 2 || g.LG != 16 {
+		t.Fatalf("metadata wrong: %+v", g)
+	}
+	// DFFs: cycle counter (4 bits for 16) + assignment counter (1 bit) +
+	// FSM counters for lengths 2 and 3 (1 + 2 bits) = 8.
+	if g.NumDFFs != 8 {
+		t.Fatalf("DFF count = %d, want 8", g.NumDFFs)
+	}
+}
+
+func TestCeilLog2(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 2000: 11}
+	for m, want := range cases {
+		if got := ceilLog2(m); got != want {
+			t.Errorf("ceilLog2(%d) = %d, want %d", m, got, want)
+		}
+	}
+}
+
+func TestSynthesizeScheduleWithRandomWindows(t *testing.T) {
+	omega := []core.Assignment{
+		{Subs: []string{"01", "100"}},
+		{Subs: []string{"1", "0"}},
+	}
+	const lg = 10
+	const randomWindows = 2
+	g, err := SynthesizeSchedule("sched", randomWindows, omega, lg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.RandomWindows != randomWindows || g.LFSRWidth != 8 {
+		t.Fatalf("metadata wrong: %+v", g)
+	}
+	s := sim.New(g.Circuit, logic.Zero)
+	// Software model: free-running XNOR LFSR for the random windows.
+	src, err := lfsr.NewXNOR(g.LFSRWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := src.ParallelSequence(2, randomWindows*lg)
+	for u := 0; u < randomWindows*lg; u++ {
+		out := s.Step([]logic.V{logic.One})
+		for i := 0; i < 2; i++ {
+			if out[i] != want.At(u, i) {
+				t.Fatalf("random window: t=%d input %d: hw %v, sw %v", u, i, out[i], want.At(u, i))
+			}
+		}
+	}
+	// Then the weight-assignment windows.
+	for j, a := range omega {
+		wseq := a.GenSequence(lg)
+		for u := 0; u < lg; u++ {
+			out := s.Step([]logic.V{logic.One})
+			for i := range a.Subs {
+				if out[i] != wseq.At(u, i) {
+					t.Fatalf("weight window %d: t=%d input %d: hw %v, sw %v", j, u, i, out[i], wseq.At(u, i))
+				}
+			}
+		}
+	}
+}
+
+func TestSynthesizeScheduleManyInputsFoldLFSR(t *testing.T) {
+	// 11 inputs on an 11-stage LFSR source (width = max(11, 8)).
+	subs := make([]string, 11)
+	for i := range subs {
+		subs[i] = "01"
+	}
+	g, err := SynthesizeSchedule("fold", 1, []core.Assignment{{Subs: subs}}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.LFSRWidth != 11 {
+		t.Fatalf("LFSR width %d, want 11", g.LFSRWidth)
+	}
+	s := sim.New(g.Circuit, logic.Zero)
+	src, _ := lfsr.NewXNOR(11)
+	want := src.ParallelSequence(11, 6)
+	for u := 0; u < 6; u++ {
+		out := s.Step([]logic.V{logic.One})
+		for i := 0; i < 11; i++ {
+			if out[i] != want.At(u, i) {
+				t.Fatalf("t=%d input %d mismatch", u, i)
+			}
+		}
+	}
+}
+
+func TestSynthesizeScheduleRejectsNegative(t *testing.T) {
+	if _, err := SynthesizeSchedule("bad", -1, []core.Assignment{{Subs: []string{"0"}}}, 4); err == nil {
+		t.Fatal("negative random windows accepted")
+	}
+}

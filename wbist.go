@@ -1,0 +1,243 @@
+// Package wbist is the public API of this repository: a from-scratch Go
+// reproduction of Pomeranz & Reddy, "Built-In Generation of Weighted Test
+// Sequences for Synchronous Sequential Circuits" (DATE 2000).
+//
+// The paper's scheme drives each primary input of a circuit under test with
+// a short binary subsequence α repeated periodically (α^r); the subsequences
+// are derived from a deterministic test sequence T so that, around every
+// hard fault's detection time, the weighted sequence reproduces T exactly,
+// which guarantees the fault is detected. On-chip, each subsequence length
+// is served by one shared FSM and a counter steps through the selected
+// weight assignments (the paper's Figure 1).
+//
+// # Quick start
+//
+//	run, err := wbist.RunCircuit("s298", wbist.Config{})
+//	if err != nil { ... }
+//	row := wbist.Table6(run)            // the paper's Table 6 columns
+//	gen, err := wbist.Synthesize(run)   // the Figure 1 BIST hardware
+//
+// The heavy lifting lives in the internal packages (circuit model, .bench
+// I/O, 3-valued bit-parallel fault simulation, test generation, the weight
+// procedure, hardware synthesis, observation-point insertion); this package
+// re-exports the surface needed to reproduce every experiment.
+package wbist
+
+import (
+	"io"
+
+	"repro/internal/atpg"
+	"repro/internal/bench"
+	"repro/internal/bist"
+	"repro/internal/check"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/expt"
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/iscas"
+	"repro/internal/logic"
+	"repro/internal/obs"
+	"repro/internal/scoap"
+	"repro/internal/sim"
+	"repro/internal/verilog"
+	"repro/internal/wgen"
+)
+
+// Circuit is a validated gate-level netlist of a synchronous sequential
+// circuit.
+type Circuit = circuit.Circuit
+
+// Sequence is a test sequence (one vector of input values per time unit).
+type Sequence = sim.Sequence
+
+// Fault is a single stuck-at fault (stem or fanout branch).
+type Fault = fault.Fault
+
+// Assignment is a weight assignment: one subsequence per primary input.
+type Assignment = core.Assignment
+
+// Config parameterises the experiment pipeline; the zero value reproduces
+// the paper's setup (L_G = 2000).
+type Config = expt.Config
+
+// Run is a completed pipeline for one circuit: deterministic sequence,
+// selected weight assignments (before and after reverse-order simulation)
+// and the Table 6 accounting.
+type Run = expt.Run
+
+// Table6Row holds the columns of the paper's Table 6 for one circuit.
+type Table6Row = expt.Table6Row
+
+// ObsResult is the observation-point experiment outcome (Tables 7-16).
+type ObsResult = obs.Result
+
+// ObsRow is one row of an observation-point table.
+type ObsRow = obs.Row
+
+// Generator is a synthesized Figure 1 test-sequence generator netlist.
+type Generator = wgen.Generator
+
+// HardwareStats is the Table 6 hardware accounting of a set of weight
+// assignments.
+type HardwareStats = core.HardwareStats
+
+// Value re-exports the ternary logic values.
+type Value = logic.V
+
+// Ternary logic constants.
+const (
+	Zero = logic.Zero
+	One  = logic.One
+	X    = logic.X
+)
+
+// S27TestSequenceText is the deterministic test sequence of the paper's
+// Table 1 for the s27 benchmark (inputs G0..G3), in Sequence text format.
+const S27TestSequenceText = iscas.S27TestSequence
+
+// CircuitNames returns the benchmark suite in the paper's table order
+// (s27 first, then the Table 6 circuits).
+func CircuitNames() []string { return iscas.Names() }
+
+// Table6Names returns the circuits of the paper's Table 6.
+func Table6Names() []string { return iscas.Table6Names() }
+
+// ObsTableNames returns the circuits of the paper's Tables 7-16.
+func ObsTableNames() []string { return iscas.ObsTableNames() }
+
+// LoadCircuit returns a suite circuit by name: the verbatim ISCAS-89 s27, or
+// a deterministic synthetic circuit with the matching interface profile (see
+// DESIGN.md "Substitutions").
+func LoadCircuit(name string) (*Circuit, error) { return iscas.Load(name) }
+
+// ParseBench reads a netlist in the ISCAS-89 .bench format.
+func ParseBench(name string, r io.Reader) (*Circuit, error) { return bench.Parse(name, r) }
+
+// WriteBench serialises a circuit in the .bench format.
+func WriteBench(w io.Writer, c *Circuit) error { return bench.Write(w, c) }
+
+// Faults enumerates the equivalence-collapsed stuck-at fault list of a
+// circuit.
+func Faults(c *Circuit) []Fault { return fault.CollapsedUniverse(c) }
+
+// GenerateTestSequence produces a deterministic test sequence for a circuit
+// (the STRATEGATE/SEQCOM substitute: fault-simulation-driven search plus
+// static compaction). init is the flip-flop initialisation (Zero or X).
+func GenerateTestSequence(c *Circuit, init Value, seed uint64) (*Sequence, []Fault, []int) {
+	r := atpg.Generate(c, atpg.Options{Seed: seed, Init: init})
+	var targets []Fault
+	var detTimes []int
+	for i := range r.Faults {
+		if r.Detected[i] {
+			targets = append(targets, r.Faults[i])
+			detTimes = append(detTimes, r.DetTime[i])
+		}
+	}
+	return r.Seq, targets, detTimes
+}
+
+// SelectWeights runs the paper's weight-assignment selection procedure
+// (Sections 3 and 4) for a circuit, a deterministic sequence and its
+// detected faults with detection times. The returned result holds Ω and the
+// weight set S.
+func SelectWeights(c *Circuit, t *Sequence, targets []Fault, detTimes []int, lg int, init Value) (*core.Result, error) {
+	return core.Run(c, t, targets, detTimes, core.Options{LG: lg, Init: init})
+}
+
+// ReverseOrderCompact prunes redundant weight assignments (Section 4.3).
+func ReverseOrderCompact(r *core.Result) []Assignment { return core.ReverseOrderCompact(r) }
+
+// Accounting computes the Table 6 hardware statistics of a set of weight
+// assignments.
+func Accounting(omega []Assignment) HardwareStats { return core.Accounting(omega) }
+
+// RunCircuit executes (and memoizes) the full pipeline for a suite circuit.
+func RunCircuit(name string, cfg Config) (*Run, error) { return expt.RunCircuit(name, cfg) }
+
+// RunPipeline executes the full pipeline on an arbitrary circuit with the
+// given flip-flop initialisation.
+func RunPipeline(c *Circuit, init Value, cfg Config) (*Run, error) {
+	return expt.RunPipeline(c, init, cfg)
+}
+
+// Table6 extracts the paper's Table 6 columns from a run.
+func Table6(r *Run) Table6Row { return expt.Table6(r) }
+
+// ObsExperiment runs the Section 5 observation-point insertion experiment
+// (the paper's Tables 7-16) on a run.
+func ObsExperiment(r *Run) *ObsResult { return expt.ObsExperiment(r) }
+
+// Synthesize builds the Figure 1 test-sequence generator netlist for a run's
+// compacted weight assignments; the result is an ordinary circuit that can
+// be simulated and verified against the software-generated sequences.
+func Synthesize(r *Run) (*Generator, error) { return expt.SynthesizeGenerator(r) }
+
+// SynthesizeFSM builds a standalone weight FSM (the paper's Table 3) for a
+// set of equal-length subsequences.
+func SynthesizeFSM(name string, subs []string) (*Circuit, *wgen.FSM, error) {
+	return wgen.SynthesizeFSM(name, subs)
+}
+
+// Simulate fault-simulates a sequence against a fault list and returns,
+// per fault, whether it was detected and at which time unit (-1 if not).
+func Simulate(c *Circuit, seq *Sequence, faults []Fault, init Value) (detected []bool, detTime []int) {
+	out := fsim.Run(c, seq, faults, fsim.Options{Init: init})
+	return out.Detected, out.DetTime
+}
+
+// WriteVerilog emits a circuit (benchmark or synthesized BIST hardware) as a
+// synthesizable structural Verilog module.
+func WriteVerilog(w io.Writer, c *Circuit) error { return verilog.Write(w, c) }
+
+// WriteVerilogTestbench emits a self-checking Verilog testbench that applies
+// seq to the module emitted by WriteVerilog and compares against the
+// responses computed by this repository's simulator.
+func WriteVerilogTestbench(w io.Writer, c *Circuit, seq *Sequence, init Value) error {
+	return verilog.WriteTestbench(w, c, seq, init)
+}
+
+// Equivalent checks two same-interface circuits for behavioural equivalence
+// by common random simulation from reset; it returns nil or the first
+// mismatch found (a *check.Mismatch, which carries the exposing stimulus).
+func Equivalent(a, b *Circuit, seed uint64, init Value) error {
+	return check.Equivalent(a, b, check.Options{Seed: seed, Init: init})
+}
+
+// Testability computes SCOAP controllability/observability measures for a
+// circuit with the given flip-flop initialisation.
+func Testability(c *Circuit, init Value) *scoap.Measures {
+	return scoap.Analyze(c, init)
+}
+
+// BISTReport is the outcome of a signature-based self-test session
+// (generator sequence → CUT → MISR).
+type BISTReport = bist.Report
+
+// RunBISTSession applies the continuous weighted test session of a run
+// (every assignment window back to back, as the Figure 1 hardware does) to
+// the circuit and compacts the responses in a MISR of the given width,
+// returning signature-based fault coverage including aliasing and
+// unknown-poisoning accounting.
+func RunBISTSession(r *Run, misrWidth int) (*BISTReport, error) {
+	return bist.RunWeightedSession(r.Core, r.Compacted, misrWidth)
+}
+
+// ConcatSession builds the continuous test session a set of weight
+// assignments applies (lg cycles per assignment, no resets in between).
+func ConcatSession(omega []Assignment, lg int) *Sequence {
+	return core.ConcatSequence(omega, lg)
+}
+
+// Compose stitches a driver circuit's primary outputs onto a load circuit's
+// primary inputs, producing one netlist — the way a synthesized test
+// generator is attached to its circuit under test on silicon.
+func Compose(name string, driver, load *Circuit) (*Circuit, error) {
+	return circuit.Compose(name, driver, load)
+}
+
+// SynthesizeSchedule builds the Figure 1 generator with leading pseudo-random
+// LFSR windows (the paper's future-work extension realised in hardware).
+func SynthesizeSchedule(name string, randomWindows int, omega []Assignment, lg int) (*Generator, error) {
+	return wgen.SynthesizeSchedule(name, randomWindows, omega, lg)
+}
