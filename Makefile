@@ -1,0 +1,24 @@
+# Developer entry points. `make test` is the tier-1 gate; `make race` adds
+# the race detector over the internal packages; `make bench-json` refreshes
+# the BENCH_pipeline.json baseline trajectory.
+
+GO ?= go
+
+.PHONY: all build test race vet bench-json
+
+all: build test race vet
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short -count=1 ./internal/...
+
+vet:
+	$(GO) vet ./...
+
+bench-json: build
+	$(GO) run ./cmd/experiments -skip-large bench

@@ -13,29 +13,37 @@
 //	wbist report <circuit>          testability report (detection times, SCOAP)
 //	wbist faults <circuit>          fault dictionary (fault, detection time)
 //	wbist testbench <circuit>       self-checking Verilog testbench for T
+//	wbist metrics <circuit>         per-phase pipeline cost table
 //
-// Common flags (before the subcommand): -lg, -seed, -random, -misr.
+// Common flags (before the subcommand): -lg, -seed, -random, -misr, plus the
+// observability flags -metrics <file> (JSON-lines span export), -progress
+// (per-phase progress on stderr) and -pprof <addr> (pprof/expvar server).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"repro"
 	"repro/internal/tables"
 )
 
 var (
-	flagLG     = flag.Int("lg", 0, "per-assignment sequence length L_G (0 = paper default 2000)")
-	flagSeed   = flag.Uint64("seed", 1, "master random seed")
-	flagRandom = flag.Int("random", 0, "pseudo-random LFSR windows before weight selection")
-	flagMISR   = flag.Int("misr", 16, "MISR width for the selftest subcommand")
+	flagLG       = flag.Int("lg", 0, "per-assignment sequence length L_G (0 = paper default 2000)")
+	flagSeed     = flag.Uint64("seed", 1, "master random seed")
+	flagRandom   = flag.Int("random", 0, "pseudo-random LFSR windows before weight selection")
+	flagMISR     = flag.Int("misr", 16, "MISR width for the selftest subcommand")
+	flagMetrics  = flag.String("metrics", "", "write telemetry span events to this file as JSON lines")
+	flagProgress = flag.Bool("progress", false, "print per-phase progress to stderr")
+	flagPprof    = flag.String("pprof", "", "serve net/http/pprof and expvar on this address")
 )
 
 func usage() {
 	fmt.Fprintln(os.Stderr,
-		"usage: wbist [flags] <info|run|table6|obs|synth|weights|verilog|verilog-gen|selftest> [circuit ...]")
+		"usage: wbist [flags] <info|run|table6|obs|synth|weights|verilog|verilog-gen|"+
+			"selftest|report|faults|testbench|metrics> [circuit ...]")
 	flag.PrintDefaults()
 	os.Exit(2)
 }
@@ -47,8 +55,21 @@ func main() {
 	if len(args) == 0 {
 		usage()
 	}
+	if *flagPprof != "" {
+		addr, err := wbist.ServeDebug(*flagPprof)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wbist:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wbist: pprof/expvar on http://%s/debug/\n", addr)
+	}
 	cfg := wbist.Config{LG: *flagLG, Seed: *flagSeed, RandomWindows: *flagRandom}
-	var err error
+	rec, finish, err := setupTelemetry(args[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wbist:", err)
+		os.Exit(1)
+	}
+	cfg.Telemetry = rec
 	switch args[0] {
 	case "info":
 		err = cmdInfo(args[1:])
@@ -74,13 +95,44 @@ func main() {
 		err = cmdFaults(args[1:], cfg)
 	case "testbench":
 		err = cmdTestbench(args[1:], cfg)
+	case "metrics":
+		err = cmdMetrics(args[1:], cfg)
 	default:
 		usage()
+	}
+	if ferr := finish(); err == nil {
+		err = ferr
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wbist:", err)
 		os.Exit(1)
 	}
+}
+
+// setupTelemetry builds the recorder implied by the observability flags (and
+// the metrics subcommand, which always needs one). The returned finish
+// function flushes and closes the -metrics file.
+func setupTelemetry(sub string) (*wbist.Recorder, func() error, error) {
+	noop := func() error { return nil }
+	if *flagMetrics == "" && !*flagProgress && sub != "metrics" {
+		return nil, noop, nil
+	}
+	var sinks []wbist.MetricsSink
+	finish := noop
+	if *flagMetrics != "" {
+		f, err := os.Create(*flagMetrics)
+		if err != nil {
+			return nil, noop, err
+		}
+		sink := wbist.NewJSONLSink(f)
+		sinks = append(sinks, sink)
+		finish = sink.Close
+	}
+	rec := wbist.NewRecorder(sinks...)
+	if *flagProgress {
+		rec.SetProgress(os.Stderr)
+	}
+	return rec, finish, nil
 }
 
 func one(args []string) (string, error) {
@@ -357,4 +409,43 @@ func cmdTestbench(args []string, cfg wbist.Config) error {
 	}
 	fmt.Println()
 	return wbist.WriteVerilogTestbench(os.Stdout, r.Circuit, r.T, r.Init)
+}
+
+func cmdMetrics(args []string, cfg wbist.Config) error {
+	name, err := one(args)
+	if err != nil {
+		return err
+	}
+	// A memoized run from an earlier command in this process would have
+	// nothing left to measure; force a fresh pipeline.
+	wbist.ClearRunCache()
+	before := wbist.Counters()
+	r, err := wbist.RunCircuit(name, cfg)
+	if err != nil {
+		return err
+	}
+	t := tables.New(fmt.Sprintf("pipeline cost for %s", name),
+		"phase", "runs", "wall", "alloc", "gate evals", "vectors")
+	for _, p := range r.Metrics {
+		t.Add(p.Span, tables.Int(p.Count),
+			fmt.Sprintf("%.3fs", p.Wall().Seconds()),
+			fmt.Sprintf("%.1fMB", float64(p.AllocBytes)/(1<<20)),
+			tables.Int(int(p.Counters["fsim.gate_evals"])),
+			tables.Int(int(p.Counters["fsim.vectors"])))
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	delta := wbist.Counters().Sub(before)
+	m := delta.Map()
+	names := make([]string, 0, len(m))
+	for counter := range m {
+		names = append(names, counter)
+	}
+	sort.Strings(names)
+	ct := tables.New("hot-path counters", "counter", "value")
+	for _, counter := range names {
+		ct.Add(counter, tables.Int(int(m[counter])))
+	}
+	return ct.Render(os.Stdout)
 }

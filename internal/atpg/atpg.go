@@ -22,6 +22,7 @@ import (
 	"repro/internal/logic"
 	"repro/internal/randutil"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Options tune sequence generation. The zero value selects sensible defaults.
@@ -59,6 +60,9 @@ type Options struct {
 	PodemFrames int
 	// NoDeterministicPhase disables the PODEM phase.
 	NoDeterministicPhase bool
+	// Span, when non-nil, is the parent telemetry span under which the
+	// generator records its phases ("atpg" with one child per phase).
+	Span *telemetry.Span
 }
 
 func (o *Options) fill(c *circuit.Circuit) {
@@ -132,11 +136,14 @@ func (r *Result) DetectedFaults() []fault.Fault {
 // Generate produces a deterministic test sequence for c.
 func Generate(c *circuit.Circuit, opts Options) *Result {
 	opts.fill(c)
+	span := opts.Span.Child("atpg")
+	defer span.End()
 	rng := randutil.New(opts.Seed)
 	faults := fault.CollapsedUniverse(c)
 	s := fsim.New(c)
 
 	// Phase 1: one long random sequence, truncated after the last detection.
+	p1 := span.Child("random")
 	seq := sim.RandomSequence(rng, c.NumInputs(), opts.RandomLen)
 	out := s.Run(seq, faults, fsim.Options{Init: opts.Init})
 	last := -1
@@ -151,11 +158,13 @@ func Generate(c *circuit.Circuit, opts Options) *Result {
 	} else {
 		seq = seq.Slice(0, last+1)
 	}
+	p1.End()
 
 	// Phase 2: directed weighted-random trials for the remaining faults.
 	// The prefix sequence is simulated once per acceptance with state
 	// saving; each trial then only pays for its own vectors, continued from
 	// the saved per-group states.
+	p2 := span.Child("directed")
 	remaining := undetectedSubset(faults, rerun(s, seq, faults, opts.Init))
 	accepted := 0
 	budget := opts.Rounds * opts.Restarts
@@ -179,17 +188,22 @@ func Generate(c *circuit.Circuit, opts Options) *Result {
 			break
 		}
 	}
+	p2.End()
 
 	// Phase 2.5: deterministic PODEM phase for the faults random search
 	// missed. Each search continues from the good/faulty machine states at
 	// the end of the current sequence, so found windows are appended.
 	if !opts.NoDeterministicPhase && len(remaining) > 0 {
+		p25 := span.Child("podem")
 		seq, remaining = deterministicPhase(c, s, seq, remaining, opts)
+		p25.End()
 	}
 
 	// Phase 3: restoration-based static compaction.
 	if !opts.NoCompaction {
+		p3 := span.Child("compaction")
 		seq = compact(s, seq, faults, opts)
+		p3.End()
 	}
 
 	final := rerun(s, seq, faults, opts.Init)

@@ -129,6 +129,8 @@ func RunSession(c *circuit.Circuit, session *sim.Sequence, faults []fault.Fault,
 // (every weight assignment window back to back, as the Figure 1 hardware
 // applies it) and measures signature-based coverage of the target faults.
 func RunWeightedSession(res *core.Result, omega []core.Assignment, width int) (*Report, error) {
+	sp := res.Options.Span.Child("bist-session")
+	defer sp.End()
 	lg := res.Options.LG
 	if lg == 0 {
 		lg = 2000

@@ -10,6 +10,7 @@ import (
 	"repro/internal/logic"
 	"repro/internal/randutil"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Options tune the weight-assignment selection procedure of Section 4.2.
@@ -48,6 +49,11 @@ type Options struct {
 	RandomWindows int
 	// Seed drives the fault sampling.
 	Seed uint64
+	// Span, when non-nil, is the parent telemetry span under which the
+	// procedure records its phases ("core" with "random-windows" and
+	// "selection" children). Later pipeline stages (obs, bist) also hang
+	// their spans off it via the Result's echoed Options.
+	Span *telemetry.Span
 }
 
 func (o *Options) fill() {
@@ -141,6 +147,8 @@ func Run(c *circuit.Circuit, t *sim.Sequence, targets []fault.Fault, detTime []i
 		S:            NewWeightSet(),
 		Options:      opts,
 	}
+	span := opts.Span.Child("core")
+	defer span.End()
 	rng := randutil.New(opts.Seed ^ 0x5eed)
 	simulator := fsim.New(c)
 
@@ -161,6 +169,7 @@ func Run(c *circuit.Circuit, t *sim.Sequence, targets []fault.Fault, detTime []i
 	// extension): free-running XNOR-LFSR windows drop the random-testable
 	// faults before any weights are selected.
 	if opts.RandomWindows > 0 && remaining > 0 {
+		rsp := span.Child("random-windows")
 		res.RandomSourceWidth = lfsr.RandomSourceWidth(c.NumInputs())
 		src, err := lfsr.NewXNOR(res.RandomSourceWidth)
 		if err != nil {
@@ -178,6 +187,7 @@ func Run(c *circuit.Circuit, t *sim.Sequence, targets []fault.Fault, detTime []i
 			}
 			out := simulator.Run(seq, fl, fsim.Options{Init: opts.Init})
 			res.SimulatedSequences++
+			telemetry.Add(telemetry.CtrCandidates, 1)
 			for k := range fl {
 				if out.Detected[k] {
 					undetected[idx[k]] = false
@@ -186,6 +196,7 @@ func Run(c *circuit.Circuit, t *sim.Sequence, targets []fault.Fault, detTime []i
 				}
 			}
 		}
+		rsp.End()
 	}
 
 	// simulate runs the assignment's sequence against the remaining faults
@@ -215,6 +226,7 @@ func Run(c *circuit.Circuit, t *sim.Sequence, targets []fault.Fault, detTime []i
 			AbortAfterFirstGroupIfNone: opts.sampleFirst(),
 		})
 		res.SimulatedSequences++
+		telemetry.Add(telemetry.CtrCandidates, 1)
 		n := 0
 		for k := range fl {
 			if out.Detected[k] {
@@ -251,6 +263,7 @@ func Run(c *circuit.Circuit, t *sim.Sequence, targets []fault.Fault, detTime []i
 		return -1
 	}
 
+	ssp := span.Child("selection")
 	for remaining > 0 {
 		fIdx := maxDetTime()
 		u := detTime[fIdx]
@@ -325,6 +338,7 @@ func Run(c *circuit.Circuit, t *sim.Sequence, targets []fault.Fault, detTime []i
 			}
 		}
 	}
+	ssp.End()
 	return res, nil
 }
 

@@ -18,6 +18,7 @@ import (
 	"repro/internal/logic"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/wgen"
 )
 
@@ -47,6 +48,11 @@ type Config struct {
 	NoSampleFirst     bool
 	NoForceFullLength bool
 	NoMatchOrdering   bool
+	// Telemetry, when non-nil, records phase spans and hot-path counters for
+	// the run (see internal/telemetry). It is ignored by the memoization key,
+	// so runs differing only in their recorder share one computation — and a
+	// cache hit records nothing.
+	Telemetry *telemetry.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -134,11 +140,23 @@ type Run struct {
 	Compacted []core.Assignment
 	// Stats is the Table 6 accounting of Compacted.
 	Stats core.HardwareStats
+	// Metrics is the per-phase telemetry of the run, as recorded by
+	// Config.Telemetry (nil when no recorder was installed). When a recorder
+	// is shared across runs the totals are cumulative across them.
+	Metrics []telemetry.PhaseStats
+}
+
+// entry is one memoization slot; the once gives concurrent callers of the
+// same (circuit, configuration) a single-flight computation.
+type entry struct {
+	once sync.Once
+	r    *Run
+	err  error
 }
 
 var (
 	cacheMu sync.Mutex
-	cache   = map[key]*Run{}
+	cache   = map[key]*entry{}
 )
 
 // InitFor returns the flip-flop initialisation for a suite circuit: unknown
@@ -152,41 +170,50 @@ func InitFor(name string) logic.V {
 }
 
 // RunCircuit executes (or returns the memoized) pipeline for a suite circuit.
+// Concurrent callers with the same (circuit, configuration) share a single
+// computation: the first one runs the pipeline, the rest block on it and
+// receive the same *Run.
 func RunCircuit(name string, cfg Config) (*Run, error) {
 	cfg = presetFor(name, cfg).withDefaults()
 	k := key{name: name, cfg: cfg}
+	// The recorder is deliberately not part of the identity of a run.
+	k.cfg.Telemetry = nil
 	cacheMu.Lock()
-	if r, ok := cache[k]; ok {
-		cacheMu.Unlock()
-		return r, nil
+	e, ok := cache[k]
+	if !ok {
+		e = &entry{}
+		cache[k] = e
 	}
 	cacheMu.Unlock()
 
-	c, err := iscas.Load(name)
-	if err != nil {
-		return nil, err
-	}
-	r, err := RunPipeline(c, InitFor(name), cfg)
-	if err != nil {
-		return nil, err
-	}
-	r.Name = name
-
-	cacheMu.Lock()
-	cache[k] = r
-	cacheMu.Unlock()
-	return r, nil
+	e.once.Do(func() {
+		c, err := iscas.Load(name)
+		if err != nil {
+			e.err = err
+			return
+		}
+		r, err := RunPipeline(c, InitFor(name), cfg)
+		if err != nil {
+			e.err = err
+			return
+		}
+		r.Name = name
+		e.r = r
+	})
+	return e.r, e.err
 }
 
 // RunPipeline executes the pipeline on an arbitrary circuit.
 func RunPipeline(c *circuit.Circuit, init logic.V, cfg Config) (*Run, error) {
 	cfg = cfg.withDefaults()
 	r := &Run{Name: c.Name, Circuit: c, Config: cfg, Init: init}
+	pipe := cfg.Telemetry.StartSpan("pipeline")
 
 	// Deterministic sequence: the paper's own sequence for s27, the
 	// analytically constructed sequence for the random-resistant cmphard,
 	// the atpg substitute for everything else.
 	if preset := presetSequence(c, cfg); preset != nil {
+		sp := pipe.Child("preset-sim")
 		r.T = preset
 		faults := fault.CollapsedUniverse(c)
 		r.TotalFaults = len(faults)
@@ -197,6 +224,7 @@ func RunPipeline(c *circuit.Circuit, init logic.V, cfg Config) (*Run, error) {
 				r.DetTimes = append(r.DetTimes, out.DetTime[i])
 			}
 		}
+		sp.End()
 	} else {
 		ar := atpg.Generate(c, atpg.Options{
 			Seed:                 cfg.Seed + 1,
@@ -204,6 +232,7 @@ func RunPipeline(c *circuit.Circuit, init logic.V, cfg Config) (*Run, error) {
 			RandomLen:            cfg.ATPGRandomLen,
 			NoCompaction:         cfg.ATPGNoCompaction,
 			NoDeterministicPhase: cfg.ATPGNoPodem,
+			Span:                 pipe,
 		})
 		r.T = ar.Seq
 		r.TotalFaults = len(ar.Faults)
@@ -223,13 +252,20 @@ func RunPipeline(c *circuit.Circuit, init logic.V, cfg Config) (*Run, error) {
 		NoSampleFirst:     cfg.NoSampleFirst,
 		NoForceFullLength: cfg.NoForceFullLength,
 		NoMatchOrdering:   cfg.NoMatchOrdering,
+		Span:              pipe,
 	})
 	if err != nil {
 		return nil, err
 	}
 	r.Core = cr
+	sp := pipe.Child("reverse-order")
 	r.Compacted = core.ReverseOrderCompact(cr)
+	sp.End()
+	sp = pipe.Child("accounting")
 	r.Stats = core.Accounting(r.Compacted)
+	sp.End()
+	pipe.End()
+	r.Metrics = cfg.Telemetry.Phases()
 	return r, nil
 }
 
@@ -280,6 +316,6 @@ func SynthesizeGenerator(r *Run) (*wgen.Generator, error) {
 // ClearCache drops all memoized runs (tests use this to force fresh runs).
 func ClearCache() {
 	cacheMu.Lock()
-	cache = map[key]*Run{}
+	cache = map[key]*entry{}
 	cacheMu.Unlock()
 }

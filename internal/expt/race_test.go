@@ -1,0 +1,78 @@
+package expt
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestRunCircuitConcurrent drives the memoization from many goroutines (run
+// under -race by the Makefile's race target) and asserts the pipeline is
+// computed exactly once and the resulting *Run is shared.
+func TestRunCircuitConcurrent(t *testing.T) {
+	ClearCache()
+	rec := telemetry.New()
+	cfg := Config{Telemetry: rec}
+
+	const goroutines = 16
+	runs := make([]*Run, goroutines)
+	errs := make([]error, goroutines)
+	var start, done sync.WaitGroup
+	start.Add(1)
+	for g := 0; g < goroutines; g++ {
+		done.Add(1)
+		go func(g int) {
+			defer done.Done()
+			start.Wait() // maximise contention on the cache entry
+			runs[g], errs[g] = RunCircuit("s27", cfg)
+		}(g)
+	}
+	start.Done()
+	done.Wait()
+
+	for g := 0; g < goroutines; g++ {
+		if errs[g] != nil {
+			t.Fatalf("goroutine %d: %v", g, errs[g])
+		}
+		if runs[g] == nil {
+			t.Fatalf("goroutine %d: nil run", g)
+		}
+		if runs[g] != runs[0] {
+			t.Errorf("goroutine %d received a different *Run than goroutine 0", g)
+		}
+	}
+
+	// The recorder is shared by every caller and the key ignores it, so a
+	// single-flighted computation must have recorded exactly one pipeline.
+	pipelines := 0
+	for _, p := range rec.Phases() {
+		if p.Span == "pipeline" {
+			pipelines = p.Count
+		}
+	}
+	if pipelines != 1 {
+		t.Errorf("pipeline computed %d times for %d concurrent callers, want 1", pipelines, goroutines)
+	}
+
+	// A fresh caller after the fact still hits the same memoized run.
+	again, err := RunCircuit("s27", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != runs[0] {
+		t.Error("later caller with an equivalent config missed the memoized run")
+	}
+}
+
+// TestRunCircuitErrorMemoized checks that a failing load is reported to every
+// caller rather than poisoning the cache with a half-built entry.
+func TestRunCircuitErrorMemoized(t *testing.T) {
+	ClearCache()
+	for i := 0; i < 2; i++ {
+		r, err := RunCircuit("no-such-circuit", Config{})
+		if err == nil || r != nil {
+			t.Fatalf("attempt %d: RunCircuit = %v, %v; want nil, error", i, r, err)
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/logic"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // GroupSize is the number of faulty machines per simulation pass.
@@ -236,6 +237,11 @@ func (s *Simulator) runGroup(seq *sim.Sequence, faults []fault.Fault, lo, hi, st
 		}
 	}
 
+	// Telemetry is accumulated locally and flushed with four atomic adds at
+	// the end of the pass, keeping the per-gate loop untouched.
+	units := 0
+	detBefore := out.NumDetected
+
 	state := s.next
 	if opts.InitialStates != nil {
 		copy(state, opts.InitialStates[lo/GroupSize])
@@ -250,6 +256,7 @@ func (s *Simulator) runGroup(seq *sim.Sequence, faults []fault.Fault, lo, hi, st
 	var fan [8]logic.W
 
 	for u := 0; u < stop; u++ {
+		units++
 		for k, id := range c.Inputs {
 			vals[id] = s.inject(id, logic.Broadcast(seq.At(u, k)))
 		}
@@ -322,7 +329,7 @@ func (s *Simulator) runGroup(seq *sim.Sequence, faults []fault.Fault, lo, hi, st
 			}
 		}
 		if activeMask == 0 && !opts.ObserveLines && opts.OutputHook == nil && !opts.SaveStates {
-			return // every fault in the group already detected
+			break // every fault in the group already detected
 		}
 		// Clock edge: next state, with DFF D-pin faults applied.
 		for k, id := range c.DFFs {
@@ -340,6 +347,10 @@ func (s *Simulator) runGroup(seq *sim.Sequence, faults []fault.Fault, lo, hi, st
 		copy(saved, state)
 		out.FinalStates[lo/GroupSize] = saved
 	}
+	telemetry.Add(telemetry.CtrGateEvals, int64(units)*int64(len(s.gateID)))
+	telemetry.Add(telemetry.CtrVectors, int64(units))
+	telemetry.Add(telemetry.CtrGroupPasses, 1)
+	telemetry.Add(telemetry.CtrFaultsDropped, int64(out.NumDetected-detBefore))
 }
 
 // inject applies the group's stem faults at node id.

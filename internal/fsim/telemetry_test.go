@@ -1,0 +1,63 @@
+package fsim
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/iscas"
+	"repro/internal/logic"
+	"repro/internal/randutil"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// TestHotPathCounters checks that a simulation run advances the process-wide
+// telemetry counters by the expected amounts.
+func TestHotPathCounters(t *testing.T) {
+	c, err := iscas.Load("s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := fault.CollapsedUniverse(c)
+	seq := sim.RandomSequence(randutil.New(7), c.NumInputs(), 64)
+
+	before := telemetry.Counters()
+	out := Run(c, seq, faults, Options{Init: logic.X, SaveStates: true})
+	d := telemetry.Counters().Sub(before)
+
+	groups := (len(faults) + GroupSize - 1) / GroupSize
+	if got := d.Get(telemetry.CtrGroupPasses); got != int64(groups) {
+		t.Errorf("group passes delta = %d, want %d", got, groups)
+	}
+	// SaveStates disables the early exit, so every group simulates the full
+	// sequence and the vector count is exact.
+	wantVecs := int64(groups * seq.Len())
+	if got := d.Get(telemetry.CtrVectors); got != wantVecs {
+		t.Errorf("vectors delta = %d, want %d", got, wantVecs)
+	}
+	if got := d.Get(telemetry.CtrGateEvals); got != wantVecs*int64(c.NumGates()) {
+		t.Errorf("gate evals delta = %d, want %d", got, wantVecs*int64(c.NumGates()))
+	}
+	if got := d.Get(telemetry.CtrFaultsDropped); got != int64(out.NumDetected) {
+		t.Errorf("faults dropped delta = %d, want %d detected", got, out.NumDetected)
+	}
+}
+
+// BenchmarkRunGroupTelemetryOverhead pins the allocation count of the hot
+// loop with telemetry compiled in but no sink installed: counters are plain
+// atomic adds batched per group pass, so the simulator must not allocate any
+// more than it did before instrumentation.
+func BenchmarkRunGroupTelemetryOverhead(b *testing.B) {
+	c, err := iscas.Load("s298")
+	if err != nil {
+		b.Fatal(err)
+	}
+	faults := fault.CollapsedUniverse(c)[:GroupSize]
+	seq := sim.RandomSequence(randutil.New(7), c.NumInputs(), 256)
+	s := New(c)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Run(seq, faults, Options{Init: logic.Zero})
+	}
+}

@@ -154,6 +154,8 @@ func Experiment(r *core.Result) *Result {
 // ExperimentWithCover is Experiment with a custom observation-point
 // selection strategy.
 func ExperimentWithCover(r *core.Result, coverFn CoverFunc) *Result {
+	sp := r.Options.Span.Child("obs")
+	defer sp.End()
 	lg := r.Options.LG
 	if lg == 0 {
 		lg = 2000

@@ -16,6 +16,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/logic"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Options bound the search.
@@ -101,6 +102,7 @@ func FindTest(c *circuit.Circuit, f fault.Fault, goodInit, faultyInit []logic.V,
 	res := &Result{}
 	found := s.search(res)
 	res.Found = found
+	telemetry.Add(telemetry.CtrBacktracks, int64(res.Backtracks))
 	if found {
 		seq := sim.NewSequence(c.NumInputs())
 		vec := make([]logic.V, c.NumInputs())

@@ -1,0 +1,41 @@
+package telemetry
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+var publishOnce sync.Once
+
+// ServeDebug starts an HTTP server on addr exposing net/http/pprof under
+// /debug/pprof/ and expvar (including the hot-path counters as
+// "wbist_counters") under /debug/vars. It returns the bound address (useful
+// with ":0") once the listener is up; the server runs until the process
+// exits. Long-running commands gate this behind a -pprof flag.
+func ServeDebug(addr string) (string, error) {
+	publishOnce.Do(func() {
+		expvar.Publish("wbist_counters", expvar.Func(func() any {
+			m := Counters().Map()
+			if m == nil {
+				m = map[string]int64{}
+			}
+			return m
+		}))
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	go http.Serve(ln, mux) //nolint:errcheck // best-effort debug endpoint
+	return ln.Addr().String(), nil
+}

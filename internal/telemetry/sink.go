@@ -1,0 +1,146 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// SpanEvent is one completed span, as delivered to sinks and serialised to
+// JSON lines.
+type SpanEvent struct {
+	// Span is the slash-separated phase path, e.g. "pipeline/atpg/random".
+	Span string `json:"span"`
+	// Start is the span's opening time.
+	Start time.Time `json:"start"`
+	// DurationNS is the wall-clock duration in nanoseconds.
+	DurationNS int64 `json:"duration_ns"`
+	// AllocBytes is the heap allocated process-wide while the span was open.
+	AllocBytes uint64 `json:"alloc_bytes"`
+	// Counters holds the nonzero hot-path counter deltas observed by the
+	// span, keyed by counter name.
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// Duration returns the span duration.
+func (e SpanEvent) Duration() time.Duration { return time.Duration(e.DurationNS) }
+
+// Sink consumes span events. Implementations must be safe for use from the
+// recorder's lock (they are invoked serially per recorder).
+type Sink interface {
+	Record(SpanEvent)
+}
+
+// JSONLSink writes one JSON object per span event to an io.Writer (the
+// -metrics file format). Create it with NewJSONLSink and Close it when done;
+// the first write error is sticky and returned by Close.
+type JSONLSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	c   io.Closer
+	err error
+}
+
+// NewJSONLSink returns a sink encoding events to w as JSON lines. If w is
+// also an io.Closer, Close closes it.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	s := &JSONLSink{enc: json.NewEncoder(w)}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// Record writes one event as one JSON line.
+func (s *JSONLSink) Record(ev SpanEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	s.err = s.enc.Encode(ev)
+}
+
+// Close releases the underlying writer and reports the first write error.
+func (s *JSONLSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.c != nil {
+		if err := s.c.Close(); err != nil && s.err == nil {
+			s.err = err
+		}
+		s.c = nil
+	}
+	return s.err
+}
+
+// PhaseStats is the aggregated cost of one span path.
+type PhaseStats struct {
+	// Span is the slash-separated phase path.
+	Span string `json:"span"`
+	// Count is the number of times the phase ran.
+	Count int `json:"count"`
+	// WallNS is the total wall-clock time in nanoseconds.
+	WallNS int64 `json:"wall_ns"`
+	// AllocBytes is the total heap allocated across runs.
+	AllocBytes uint64 `json:"alloc_bytes"`
+	// Counters sums the per-span counter deltas.
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// Wall returns the total wall-clock time.
+func (p PhaseStats) Wall() time.Duration { return time.Duration(p.WallNS) }
+
+// Aggregator accumulates span events into per-path totals, preserving
+// first-seen order. The zero value is not usable; use NewAggregator.
+type Aggregator struct {
+	mu    sync.Mutex
+	bykey map[string]*PhaseStats
+	order []string
+}
+
+// NewAggregator returns an empty aggregator.
+func NewAggregator() *Aggregator {
+	return &Aggregator{bykey: map[string]*PhaseStats{}}
+}
+
+// Record folds one event into the totals.
+func (a *Aggregator) Record(ev SpanEvent) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	p := a.bykey[ev.Span]
+	if p == nil {
+		p = &PhaseStats{Span: ev.Span}
+		a.bykey[ev.Span] = p
+		a.order = append(a.order, ev.Span)
+	}
+	p.Count++
+	p.WallNS += ev.DurationNS
+	p.AllocBytes += ev.AllocBytes
+	for name, v := range ev.Counters {
+		if p.Counters == nil {
+			p.Counters = map[string]int64{}
+		}
+		p.Counters[name] += v
+	}
+}
+
+// Phases returns a copy of the totals in first-seen order.
+func (a *Aggregator) Phases() []PhaseStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]PhaseStats, 0, len(a.order))
+	for _, k := range a.order {
+		p := *a.bykey[k]
+		if p.Counters != nil {
+			m := make(map[string]int64, len(p.Counters))
+			for name, v := range p.Counters {
+				m[name] = v
+			}
+			p.Counters = m
+		}
+		out = append(out, p)
+	}
+	return out
+}

@@ -1,0 +1,218 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCountersAddAndSnapshot(t *testing.T) {
+	before := Counters()
+	Add(CtrGateEvals, 100)
+	Add(CtrVectors, 7)
+	Add(CtrGateEvals, 1)
+	d := Counters().Sub(before)
+	if got := d.Get(CtrGateEvals); got != 101 {
+		t.Errorf("gate evals delta = %d, want 101", got)
+	}
+	if got := d.Get(CtrVectors); got != 7 {
+		t.Errorf("vectors delta = %d, want 7", got)
+	}
+	m := d.Map()
+	if m["fsim.gate_evals"] != 101 || m["fsim.vectors"] != 7 {
+		t.Errorf("Map() = %v", m)
+	}
+	if _, ok := m[CtrBacktracks.Name()]; ok && d.Get(CtrBacktracks) == 0 {
+		t.Errorf("Map() contains zero counter %q", CtrBacktracks.Name())
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	rec := New()
+	root := rec.StartSpan("pipeline")
+	a := root.Child("atpg")
+	a1 := a.Child("random")
+	a1.End()
+	a.End()
+	c := root.Child("core")
+	c.End()
+	root.End()
+
+	var paths []string
+	for _, p := range rec.Phases() {
+		paths = append(paths, p.Span)
+	}
+	want := []string{"pipeline/atpg/random", "pipeline/atpg", "pipeline/core", "pipeline"}
+	if fmt.Sprint(paths) != fmt.Sprint(want) {
+		t.Errorf("phase order = %v, want %v", paths, want)
+	}
+	if got := root.Path(); got != "pipeline" {
+		t.Errorf("root.Path() = %q", got)
+	}
+}
+
+func TestAggregatorSumsCountersAndRepeats(t *testing.T) {
+	rec := New()
+	for i := 0; i < 3; i++ {
+		sp := rec.StartSpan("phase")
+		Add(CtrCandidates, 2)
+		sp.End()
+	}
+	phases := rec.Phases()
+	if len(phases) != 1 {
+		t.Fatalf("got %d phases, want 1", len(phases))
+	}
+	p := phases[0]
+	if p.Count != 3 {
+		t.Errorf("count = %d, want 3", p.Count)
+	}
+	// Counter deltas are process-wide, so parallel tests could inflate the
+	// sum; it must be at least the 6 we added.
+	if p.Counters["core.candidates_scored"] < 6 {
+		t.Errorf("candidates sum = %d, want >= 6", p.Counters["core.candidates_scored"])
+	}
+	if p.WallNS < 0 {
+		t.Errorf("negative wall time %d", p.WallNS)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	rec := New(sink)
+
+	root := rec.StartSpan("pipeline")
+	child := root.Child("atpg")
+	Add(CtrVectors, 41)
+	child.End()
+	root.End()
+	if err := sink.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	var events []SpanEvent
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var ev SpanEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad JSON line %q: %v", sc.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+	if events[0].Span != "pipeline/atpg" || events[1].Span != "pipeline" {
+		t.Errorf("spans = %q, %q", events[0].Span, events[1].Span)
+	}
+	if events[0].Counters["fsim.vectors"] < 41 {
+		t.Errorf("child vectors = %d, want >= 41", events[0].Counters["fsim.vectors"])
+	}
+	if events[0].Duration() < 0 || events[0].Start.IsZero() {
+		t.Errorf("bad timing in %+v", events[0])
+	}
+}
+
+type errWriter struct{ err error }
+
+func (w errWriter) Write([]byte) (int, error) { return 0, w.err }
+
+func TestJSONLSinkStickyError(t *testing.T) {
+	sink := NewJSONLSink(errWriter{err: io.ErrClosedPipe})
+	sink.Record(SpanEvent{Span: "x"})
+	sink.Record(SpanEvent{Span: "y"})
+	if err := sink.Close(); err == nil {
+		t.Error("Close() = nil, want sticky write error")
+	}
+}
+
+// TestNilRecorderRecordsNothingAndAllocatesNothing is the guard for the
+// telemetry-off hot path: spans from a nil recorder must be free.
+func TestNilRecorderRecordsNothingAndAllocatesNothing(t *testing.T) {
+	var rec *Recorder
+	if got := rec.Phases(); got != nil {
+		t.Errorf("nil recorder Phases() = %v, want nil", got)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := rec.StartSpan("pipeline")
+		c := sp.Child("atpg")
+		if c.Path() != "" {
+			t.Fatal("nil span has a path")
+		}
+		c.End()
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Errorf("nil recorder span lifecycle allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestRecorderConcurrentSpans(t *testing.T) {
+	rec := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				sp := rec.StartSpan("worker")
+				sp.Child("inner").End()
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	for _, p := range rec.Phases() {
+		if p.Count != 400 {
+			t.Errorf("%s count = %d, want 400", p.Span, p.Count)
+		}
+	}
+}
+
+func TestProgressWriter(t *testing.T) {
+	var buf bytes.Buffer
+	rec := New()
+	rec.SetProgress(&buf)
+	sp := rec.StartSpan("pipeline")
+	sp.Child("atpg").End()
+	sp.End()
+	out := buf.String()
+	if !strings.Contains(out, "pipeline/atpg") || !strings.Contains(out, "pipeline ") {
+		t.Errorf("progress output missing spans:\n%s", out)
+	}
+}
+
+func TestServeDebug(t *testing.T) {
+	addr, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("ServeDebug: %v", err)
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get("http://" + addr + "/debug/vars")
+	if err != nil {
+		t.Fatalf("GET /debug/vars: %v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", resp.StatusCode)
+	}
+	if !bytes.Contains(body, []byte("wbist_counters")) {
+		t.Errorf("/debug/vars missing wbist_counters:\n%s", body)
+	}
+	resp2, err := client.Get("http://" + addr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatalf("GET /debug/pprof/cmdline: %v", err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status %d", resp2.StatusCode)
+	}
+}

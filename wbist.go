@@ -40,6 +40,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/scoap"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/verilog"
 	"repro/internal/wgen"
 )
@@ -241,3 +242,38 @@ func Compose(name string, driver, load *Circuit) (*Circuit, error) {
 func SynthesizeSchedule(name string, randomWindows int, omega []Assignment, lg int) (*Generator, error) {
 	return wgen.SynthesizeSchedule(name, randomWindows, omega, lg)
 }
+
+// Recorder collects pipeline telemetry: hierarchical phase spans (wall clock
+// + allocations) and hot-path counter deltas. Install one via
+// Config.Telemetry; a nil recorder disables telemetry at near-zero cost.
+type Recorder = telemetry.Recorder
+
+// PhaseStats is the aggregated cost of one pipeline phase.
+type PhaseStats = telemetry.PhaseStats
+
+// MetricsSink consumes telemetry span events (see NewJSONLSink).
+type MetricsSink = telemetry.Sink
+
+// NewRecorder returns a telemetry recorder feeding the given sinks; with no
+// sinks it still aggregates per-phase totals in memory (Recorder.Phases).
+func NewRecorder(sinks ...MetricsSink) *Recorder { return telemetry.New(sinks...) }
+
+// NewJSONLSink returns a telemetry sink that writes one JSON object per
+// completed span to w (the CLI's -metrics format).
+func NewJSONLSink(w io.Writer) *telemetry.JSONLSink { return telemetry.NewJSONLSink(w) }
+
+// CounterSnapshot is a point-in-time copy of the process-wide hot-path
+// counters (gate evaluations, vectors simulated, PODEM backtracks, ...).
+type CounterSnapshot = telemetry.Snapshot
+
+// Counters returns the current hot-path counter values; subtract two
+// snapshots (Snapshot.Sub) to cost a region.
+func Counters() CounterSnapshot { return telemetry.Counters() }
+
+// ServeDebug exposes net/http/pprof and expvar (including the hot-path
+// counters) on addr, returning the bound address (the CLI's -pprof flag).
+func ServeDebug(addr string) (string, error) { return telemetry.ServeDebug(addr) }
+
+// ClearRunCache drops the memoized pipeline runs (fresh-measurement helper
+// for benchmarking tools).
+func ClearRunCache() { expt.ClearCache() }
