@@ -1,10 +1,14 @@
 # Developer entry points. `make test` is the tier-1 gate; `make race` adds
-# the race detector over the internal packages; `make bench-json` refreshes
-# the BENCH_pipeline.json baseline trajectory.
+# the race detector over the internal packages (including the
+# sequential-vs-parallel fsim determinism tests); `make bench-json` refreshes
+# the BENCH_pipeline.json baseline trajectory; `make bench-smoke` is the
+# cheap CI variant (one small circuit, parallel workers); `make
+# bench-parallel` writes the BENCH_parallel.json comparison entry against the
+# committed sequential baseline.
 
 GO ?= go
 
-.PHONY: all build test race vet bench-json
+.PHONY: all build test race vet bench-json bench-smoke bench-parallel
 
 all: build test race vet
 
@@ -21,4 +25,10 @@ vet:
 	$(GO) vet ./...
 
 bench-json: build
-	$(GO) run ./cmd/experiments -skip-large bench
+	$(GO) run ./cmd/experiments -skip-large -workers 1 bench
+
+bench-smoke: build
+	$(GO) run ./cmd/experiments -circuits s298 -bench-json /tmp/wbist_bench_smoke.json bench
+
+bench-parallel: build
+	$(GO) run ./cmd/experiments -skip-large -bench-json BENCH_parallel.json bench

@@ -11,6 +11,7 @@ package wbist
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -471,6 +472,24 @@ func BenchmarkKernelFaultSimulation_s1423(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Run(seq, faults, fsim.Options{Init: Zero})
+	}
+	b.ReportMetric(float64(len(faults)), "faults")
+}
+
+// BenchmarkKernelFaultSimulationParallel_s1423 is the before/after entry for
+// the parallel fault-group fan-out: the same run as the sequential kernel
+// benchmark, sharded over GOMAXPROCS workers (bit-identical outcome). On a
+// single-core runner it degenerates to the sequential path.
+func BenchmarkKernelFaultSimulationParallel_s1423(b *testing.B) {
+	c := iscas.MustLoad("s1423")
+	faults := fault.CollapsedUniverse(c)
+	seq := Assignment{Subs: subsFor(c.NumInputs())}.GenSequence(500)
+	s := fsim.New(c)
+	workers := runtime.GOMAXPROCS(0)
+	b.ReportMetric(float64(workers), "workers")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Run(seq, faults, fsim.Options{Init: Zero, Workers: workers})
 	}
 	b.ReportMetric(float64(len(faults)), "faults")
 }

@@ -15,15 +15,18 @@
 //	wbist testbench <circuit>       self-checking Verilog testbench for T
 //	wbist metrics <circuit>         per-phase pipeline cost table
 //
-// Common flags (before the subcommand): -lg, -seed, -random, -misr, plus the
-// observability flags -metrics <file> (JSON-lines span export), -progress
-// (per-phase progress on stderr) and -pprof <addr> (pprof/expvar server).
+// Common flags (before the subcommand): -lg, -seed, -random, -misr, -workers
+// (fault-simulation worker goroutines, default GOMAXPROCS; results are
+// bit-identical for any value), plus the observability flags -metrics <file>
+// (JSON-lines span export), -progress (per-phase progress on stderr) and
+// -pprof <addr> (pprof/expvar server).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 
 	"repro"
@@ -35,6 +38,7 @@ var (
 	flagSeed     = flag.Uint64("seed", 1, "master random seed")
 	flagRandom   = flag.Int("random", 0, "pseudo-random LFSR windows before weight selection")
 	flagMISR     = flag.Int("misr", 16, "MISR width for the selftest subcommand")
+	flagWorkers  = flag.Int("workers", runtime.GOMAXPROCS(0), "fault-simulation worker goroutines (results are identical for any value)")
 	flagMetrics  = flag.String("metrics", "", "write telemetry span events to this file as JSON lines")
 	flagProgress = flag.Bool("progress", false, "print per-phase progress to stderr")
 	flagPprof    = flag.String("pprof", "", "serve net/http/pprof and expvar on this address")
@@ -63,7 +67,7 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wbist: pprof/expvar on http://%s/debug/\n", addr)
 	}
-	cfg := wbist.Config{LG: *flagLG, Seed: *flagSeed, RandomWindows: *flagRandom}
+	cfg := wbist.Config{LG: *flagLG, Seed: *flagSeed, RandomWindows: *flagRandom, Workers: *flagWorkers}
 	rec, finish, err := setupTelemetry(args[0])
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wbist:", err)

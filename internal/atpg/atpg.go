@@ -60,6 +60,9 @@ type Options struct {
 	PodemFrames int
 	// NoDeterministicPhase disables the PODEM phase.
 	NoDeterministicPhase bool
+	// Workers is the fault-simulation worker count handed to fsim (0 or 1 =
+	// sequential). The generated sequence is bit-identical for any value.
+	Workers int
 	// Span, when non-nil, is the parent telemetry span under which the
 	// generator records its phases ("atpg" with one child per phase).
 	Span *telemetry.Span
@@ -145,7 +148,7 @@ func Generate(c *circuit.Circuit, opts Options) *Result {
 	// Phase 1: one long random sequence, truncated after the last detection.
 	p1 := span.Child("random")
 	seq := sim.RandomSequence(rng, c.NumInputs(), opts.RandomLen)
-	out := s.Run(seq, faults, fsim.Options{Init: opts.Init})
+	out := s.Run(seq, faults, fsim.Options{Init: opts.Init, Workers: opts.Workers})
 	last := -1
 	for i := range faults {
 		if out.Detected[i] && out.DetTime[i] > last {
@@ -165,17 +168,24 @@ func Generate(c *circuit.Circuit, opts Options) *Result {
 	// saving; each trial then only pays for its own vectors, continued from
 	// the saved per-group states.
 	p2 := span.Child("directed")
-	remaining := undetectedSubset(faults, rerun(s, seq, faults, opts.Init))
+	remaining := undetectedSubset(faults, rerun(s, seq, faults, opts))
 	accepted := 0
 	budget := opts.Rounds * opts.Restarts
 	for len(remaining) > 0 && accepted < opts.MaxAccepts && budget > 0 {
 		// The remaining faults are undetected by seq, so this pass detects
 		// nothing and exists purely to capture the end-of-prefix states.
-		base := s.Run(seq, remaining, fsim.Options{Init: opts.Init, SaveStates: true})
+		base := s.Run(seq, remaining, fsim.Options{Init: opts.Init, SaveStates: true, Workers: opts.Workers})
 		improved := false
 		for ; budget > 0; budget-- {
 			cand := weightedRandom(rng, c.NumInputs(), opts.TrialLen)
-			o := s.Run(cand, remaining, fsim.Options{InitialStates: base.FinalStates})
+			// TimeOffset keeps the continued run's detection times on the
+			// same axis as the full sequence (prefix + trial), should a
+			// future consumer compare them with u_det(f).
+			o := s.Run(cand, remaining, fsim.Options{
+				InitialStates: base.FinalStates,
+				TimeOffset:    seq.Len(),
+				Workers:       opts.Workers,
+			})
 			if o.NumDetected > 0 {
 				seq.Concat(cand)
 				remaining = undetectedSubset(remaining, o)
@@ -206,7 +216,7 @@ func Generate(c *circuit.Circuit, opts Options) *Result {
 		p3.End()
 	}
 
-	final := rerun(s, seq, faults, opts.Init)
+	final := rerun(s, seq, faults, opts)
 	return &Result{
 		Seq:         seq,
 		Faults:      faults,
@@ -216,8 +226,8 @@ func Generate(c *circuit.Circuit, opts Options) *Result {
 	}
 }
 
-func rerun(s *fsim.Simulator, seq *sim.Sequence, faults []fault.Fault, init logic.V) *fsim.Outcome {
-	return s.Run(seq, faults, fsim.Options{Init: init})
+func rerun(s *fsim.Simulator, seq *sim.Sequence, faults []fault.Fault, opts Options) *fsim.Outcome {
+	return s.Run(seq, faults, fsim.Options{Init: opts.Init, Workers: opts.Workers})
 }
 
 func undetectedSubset(faults []fault.Fault, out *fsim.Outcome) []fault.Fault {
@@ -255,7 +265,7 @@ func weightedRandom(rng *randutil.RNG, n, l int) *sim.Sequence {
 // Blocks are tried back to front at each block size so that later deletions
 // do not invalidate earlier decisions within a pass.
 func compact(s *fsim.Simulator, seq *sim.Sequence, faults []fault.Fault, opts Options) *sim.Sequence {
-	base := rerun(s, seq, faults, opts.Init)
+	base := rerun(s, seq, faults, opts)
 	// Only the detected faults need to stay detected; simulating the
 	// undetected ones during compaction would be wasted effort.
 	var targets []fault.Fault
@@ -265,7 +275,7 @@ func compact(s *fsim.Simulator, seq *sim.Sequence, faults []fault.Fault, opts Op
 		}
 	}
 	covers := func(cand *sim.Sequence) bool {
-		o := rerun(s, cand, targets, opts.Init)
+		o := rerun(s, cand, targets, opts)
 		return o.NumDetected == len(targets)
 	}
 	for _, block := range opts.CompactionBlocks {

@@ -85,6 +85,9 @@ func RunSession(c *circuit.Circuit, session *sim.Sequence, faults []fault.Fault,
 		}
 		m.Shift(po)
 	}
+	// The MISR hook relies on fsim's OutputHook ordering contract (strict
+	// group order, one goroutine), which forces sequential execution; a
+	// Workers value passed by the caller would be ignored for this run.
 	out := fsim.Run(c, session, faults, fsim.Options{Init: init, OutputHook: hook})
 	if hookErr != nil {
 		return nil, hookErr

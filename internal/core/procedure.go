@@ -49,6 +49,10 @@ type Options struct {
 	RandomWindows int
 	// Seed drives the fault sampling.
 	Seed uint64
+	// Workers is the fault-simulation worker count handed to fsim (0 or 1 =
+	// sequential). Results are bit-identical for any value; it only changes
+	// wall-clock time.
+	Workers int
 	// Span, when non-nil, is the parent telemetry span under which the
 	// procedure records its phases ("core" with "random-windows" and
 	// "selection" children). Later pipeline stages (obs, bist) also hang
@@ -185,7 +189,7 @@ func Run(c *circuit.Circuit, t *sim.Sequence, targets []fault.Fault, detTime []i
 					idx = append(idx, i)
 				}
 			}
-			out := simulator.Run(seq, fl, fsim.Options{Init: opts.Init})
+			out := simulator.Run(seq, fl, fsim.Options{Init: opts.Init, Workers: opts.Workers})
 			res.SimulatedSequences++
 			telemetry.Add(telemetry.CtrCandidates, 1)
 			for k := range fl {
@@ -221,9 +225,15 @@ func Run(c *circuit.Circuit, t *sim.Sequence, targets []fault.Fault, detTime []i
 			fl[k] = targets[i]
 		}
 		seq := a.GenSequence(lg)
+		// With sampleFirst, group 0 (target fault + sample) always runs
+		// alone; only a detecting candidate pays for the fan-out over the
+		// remaining groups. The outcome's Aborted flag is deliberately
+		// unused here: a zero-detection candidate is rejected by the n == 0
+		// check below whether or not later groups were skipped.
 		out := simulator.Run(seq, fl, fsim.Options{
 			Init:                       opts.Init,
 			AbortAfterFirstGroupIfNone: opts.sampleFirst(),
+			Workers:                    opts.Workers,
 		})
 		res.SimulatedSequences++
 		telemetry.Add(telemetry.CtrCandidates, 1)

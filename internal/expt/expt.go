@@ -53,6 +53,11 @@ type Config struct {
 	// so runs differing only in their recorder share one computation — and a
 	// cache hit records nothing.
 	Telemetry *telemetry.Recorder
+	// Workers is the fault-simulation worker count threaded through every
+	// pipeline stage (atpg, core, obs; 0 or 1 = sequential). The simulator's
+	// deterministic merge makes results bit-identical for any value, so
+	// Workers — like Telemetry — is not part of the memoization key.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -176,8 +181,10 @@ func InitFor(name string) logic.V {
 func RunCircuit(name string, cfg Config) (*Run, error) {
 	cfg = presetFor(name, cfg).withDefaults()
 	k := key{name: name, cfg: cfg}
-	// The recorder is deliberately not part of the identity of a run.
+	// Neither the recorder nor the worker count is part of the identity of a
+	// run: both leave every result bit unchanged.
 	k.cfg.Telemetry = nil
+	k.cfg.Workers = 0
 	cacheMu.Lock()
 	e, ok := cache[k]
 	if !ok {
@@ -217,7 +224,7 @@ func RunPipeline(c *circuit.Circuit, init logic.V, cfg Config) (*Run, error) {
 		r.T = preset
 		faults := fault.CollapsedUniverse(c)
 		r.TotalFaults = len(faults)
-		out := fsim.Run(c, preset, faults, fsim.Options{Init: init})
+		out := fsim.Run(c, preset, faults, fsim.Options{Init: init, Workers: cfg.Workers})
 		for i := range faults {
 			if out.Detected[i] {
 				r.Targets = append(r.Targets, faults[i])
@@ -232,6 +239,7 @@ func RunPipeline(c *circuit.Circuit, init logic.V, cfg Config) (*Run, error) {
 			RandomLen:            cfg.ATPGRandomLen,
 			NoCompaction:         cfg.ATPGNoCompaction,
 			NoDeterministicPhase: cfg.ATPGNoPodem,
+			Workers:              cfg.Workers,
 			Span:                 pipe,
 		})
 		r.T = ar.Seq
@@ -252,6 +260,7 @@ func RunPipeline(c *circuit.Circuit, init logic.V, cfg Config) (*Run, error) {
 		NoSampleFirst:     cfg.NoSampleFirst,
 		NoForceFullLength: cfg.NoForceFullLength,
 		NoMatchOrdering:   cfg.NoMatchOrdering,
+		Workers:           cfg.Workers,
 		Span:              pipe,
 	})
 	if err != nil {

@@ -1,9 +1,11 @@
 package expt
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/fsim"
+	"repro/internal/iscas"
 	"repro/internal/logic"
 	"repro/internal/sim"
 )
@@ -34,6 +36,60 @@ func TestRunCircuitS27(t *testing.T) {
 	}
 	if row.FSMs > row.Subs {
 		t.Errorf("FSMs %d > subs %d", row.FSMs, row.Subs)
+	}
+}
+
+// TestPipelineWorkersDeterminism runs the full pipeline sequentially and
+// with a parallel fault-simulation fleet and requires identical results
+// end to end: the simulator's deterministic merge must survive every stage
+// (atpg, core selection, reverse-order compaction).
+func TestPipelineWorkersDeterminism(t *testing.T) {
+	c, err := iscas.Load("s298")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqR, err := RunPipeline(c, logic.Zero, Config{LG: 150, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := iscas.Load("s298")
+	if err != nil {
+		t.Fatal(err)
+	}
+	parR, err := RunPipeline(c2, logic.Zero, Config{LG: 150, Seed: 1, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqR.T.String() != parR.T.String() {
+		t.Fatal("deterministic sequences differ")
+	}
+	if !reflect.DeepEqual(seqR.Targets, parR.Targets) || !reflect.DeepEqual(seqR.DetTimes, parR.DetTimes) {
+		t.Fatal("target faults or detection times differ")
+	}
+	if !reflect.DeepEqual(seqR.Core.Omega, parR.Core.Omega) {
+		t.Fatal("selected weight assignments differ")
+	}
+	if !reflect.DeepEqual(seqR.Compacted, parR.Compacted) {
+		t.Fatal("compacted assignments differ")
+	}
+	if seqR.Stats != parR.Stats {
+		t.Fatalf("hardware stats differ: %+v vs %+v", seqR.Stats, parR.Stats)
+	}
+}
+
+// TestWorkersNotPartOfMemoKey: runs differing only in Workers are
+// bit-identical, so they must share one memoized computation.
+func TestWorkersNotPartOfMemoKey(t *testing.T) {
+	a, err := RunCircuit("s27", Config{LG: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCircuit("s27", Config{LG: 100, Seed: 1, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("Workers leaked into the memoization key")
 	}
 }
 

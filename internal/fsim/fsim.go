@@ -9,10 +9,18 @@
 // set of *internal* nodes at which the faulty machine ever differs binarily
 // from the fault-free machine; that is the observability information used by
 // the observation-point insertion experiment (Section 5 of the paper).
+//
+// Fault groups are fully independent (each pass carries its own fault-free
+// machine in slot 0), so Options.Workers > 1 shards them over a worker pool
+// with one scratch simulator per worker and merges the per-group results
+// deterministically: the outcome is bit-identical to a sequential run.
 package fsim
 
 import (
+	"fmt"
 	"math/bits"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/circuit"
 	"repro/internal/fault"
@@ -46,17 +54,40 @@ type Options struct {
 	// faults[lo+k-1]). Response compactors (package misr) plug in here.
 	// Setting a hook disables the all-detected early exit so every group
 	// sees the full sequence.
+	//
+	// Ordering contract: a hook is always invoked sequentially, in strict
+	// group order (group 0's whole sequence first, then group 1's, ...), on
+	// the calling goroutine. Setting a hook therefore forces sequential
+	// execution: Workers is ignored.
 	OutputHook func(lo, hi, u int, po []logic.W)
 	// InitialStates, if non-nil, provides the starting flip-flop state of
 	// every fault group (index lo/GroupSize), as produced by a previous run
 	// with SaveStates over the *same fault list* (grouping must match). It
 	// overrides Init and lets a caller continue a simulation where an
-	// earlier sequence left off, paying only for the new vectors.
+	// earlier sequence left off, paying only for the new vectors. Run
+	// panics if the group count does not match the fault list or a group's
+	// state width does not match the circuit's flip-flop count: a silent
+	// mismatch would corrupt the continuation run.
 	InitialStates [][]logic.W
 	// SaveStates records each group's final flip-flop state in
 	// Outcome.FinalStates (disabling the all-detected early exit so the
 	// state is exact).
 	SaveStates bool
+	// TimeOffset is added to every recorded detection time (undetected
+	// faults stay at -1). A caller continuing a run via InitialStates passes
+	// the length of the already-applied prefix so Outcome.DetTime stays
+	// directly comparable with the detection times u_det(f) of the original,
+	// unsplit sequence. StopTime remains relative to the new sequence.
+	TimeOffset int
+	// Workers is the number of goroutines the independent fault groups are
+	// sharded over. 0 or 1 simulates sequentially on the calling goroutine;
+	// n > 1 uses min(n, number of groups) workers, each with its own scratch
+	// simulator. Results are merged into pre-sized per-group slices, so the
+	// outcome is bit-identical to a sequential run regardless of scheduling.
+	// OutputHook forces sequential execution (see its ordering contract);
+	// AbortAfterFirstGroupIfNone always simulates group 0 alone, before any
+	// fan-out, to preserve the Section 4.2 effort reduction.
+	Workers int
 }
 
 // Outcome reports the result of a run over a fault list.
@@ -75,7 +106,9 @@ type Outcome struct {
 	// FinalStates[g] is group g's final flip-flop state (only when
 	// SaveStates was set).
 	FinalStates [][]logic.W
-	// Aborted reports that AbortAfterFirstGroupIfNone fired.
+	// Aborted reports that AbortAfterFirstGroupIfNone fired: the first
+	// group detected nothing and at least one further group was skipped. A
+	// run whose only group was fully simulated is never marked aborted.
 	Aborted bool
 }
 
@@ -102,10 +135,21 @@ func (b Bitset) Count() int {
 
 // Simulator runs fault simulations over one circuit. It is cheap to create;
 // scratch buffers are reused across runs.
+//
+// A Simulator is NOT safe for concurrent use by multiple goroutines: every
+// run scribbles over the shared scratch buffers. To parallelize, set
+// Options.Workers instead — Run then shards the independent fault groups
+// over an internal pool of per-worker simulators (reused across runs) and
+// merges their results deterministically.
 type Simulator struct {
 	c    *circuit.Circuit
 	vals []logic.W
 	next []logic.W
+
+	// pool holds the extra per-worker simulators of parallel runs, grown on
+	// demand and reused across runs. They share the receiver's immutable
+	// flattened netlist and own only scratch state.
+	pool []*Simulator
 
 	// Flattened netlist (hot-loop friendly): for gate k in evaluation order,
 	// gateID[k] is its node id, gateType[k] its type, and its fanins are
@@ -135,17 +179,7 @@ type pinForce struct {
 
 // New returns a simulator for c.
 func New(c *circuit.Circuit) *Simulator {
-	s := &Simulator{
-		c:         c,
-		vals:      make([]logic.W, len(c.Nodes)),
-		next:      make([]logic.W, len(c.DFFs)),
-		stemMask0: make([]uint64, len(c.Nodes)),
-		stemMask1: make([]uint64, len(c.Nodes)),
-		pinIdx:    make([]int32, len(c.Nodes)),
-	}
-	for i := range s.pinIdx {
-		s.pinIdx[i] = -1
-	}
+	s := newScratch(c)
 	s.gateID = make([]circuit.NodeID, len(c.Order))
 	s.gateType = make([]circuit.GateType, len(c.Order))
 	s.faninStart = make([]int32, len(c.Order)+1)
@@ -159,13 +193,65 @@ func New(c *circuit.Circuit) *Simulator {
 	return s
 }
 
+// newScratch allocates the mutable per-run state of a simulator for c.
+func newScratch(c *circuit.Circuit) *Simulator {
+	s := &Simulator{
+		c:         c,
+		vals:      make([]logic.W, len(c.Nodes)),
+		next:      make([]logic.W, len(c.DFFs)),
+		stemMask0: make([]uint64, len(c.Nodes)),
+		stemMask1: make([]uint64, len(c.Nodes)),
+		pinIdx:    make([]int32, len(c.Nodes)),
+	}
+	for i := range s.pinIdx {
+		s.pinIdx[i] = -1
+	}
+	return s
+}
+
+// workerSims returns n simulators over the receiver's circuit: the receiver
+// itself plus n-1 pooled workers sharing its immutable flattened netlist.
+// The pool grows on demand and is reused across runs.
+func (s *Simulator) workerSims(n int) []*Simulator {
+	for len(s.pool) < n-1 {
+		w := newScratch(s.c)
+		w.gateID = s.gateID
+		w.gateType = s.gateType
+		w.faninStart = s.faninStart
+		w.faninList = s.faninList
+		s.pool = append(s.pool, w)
+	}
+	sims := make([]*Simulator, 0, n)
+	sims = append(sims, s)
+	return append(sims, s.pool[:n-1]...)
+}
+
 // Run fault-simulates seq against faults and returns the outcome.
 func Run(c *circuit.Circuit, seq *sim.Sequence, faults []fault.Fault, opts Options) *Outcome {
 	return New(c).Run(seq, faults, opts)
 }
 
 // Run fault-simulates seq against faults and returns the outcome.
+//
+// With Options.Workers > 1 the independent fault groups are sharded over a
+// worker pool; each group writes a disjoint slice region of the outcome, so
+// the result is bit-identical to the sequential run regardless of scheduling.
 func (s *Simulator) Run(seq *sim.Sequence, faults []fault.Fault, opts Options) *Outcome {
+	numGroups := (len(faults) + GroupSize - 1) / GroupSize
+	if opts.InitialStates != nil {
+		// A silently mis-shaped continuation state would corrupt the run
+		// (short copies leave stale flip-flop words in place); fail loudly.
+		if len(opts.InitialStates) != numGroups {
+			panic(fmt.Sprintf("fsim: InitialStates has %d group states for %d fault groups (fault list and grouping must match the saving run)",
+				len(opts.InitialStates), numGroups))
+		}
+		for g, st := range opts.InitialStates {
+			if len(st) != len(s.c.DFFs) {
+				panic(fmt.Sprintf("fsim: InitialStates[%d] has %d state words for a circuit with %d flip-flops",
+					g, len(st), len(s.c.DFFs)))
+			}
+		}
+	}
 	out := &Outcome{
 		Detected: make([]bool, len(faults)),
 		DetTime:  make([]int, len(faults)),
@@ -180,29 +266,105 @@ func (s *Simulator) Run(seq *sim.Sequence, faults []fault.Fault, opts Options) *
 		}
 	}
 	if opts.SaveStates {
-		out.FinalStates = make([][]logic.W, (len(faults)+GroupSize-1)/GroupSize)
+		out.FinalStates = make([][]logic.W, numGroups)
 	}
 	stop := seq.Len()
 	if opts.StopTime > 0 && opts.StopTime < stop {
 		stop = opts.StopTime
 	}
-	for lo := 0; lo < len(faults); lo += GroupSize {
-		hi := lo + GroupSize
-		if hi > len(faults) {
-			hi = len(faults)
-		}
-		s.runGroup(seq, faults, lo, hi, stop, opts, out)
-		if opts.AbortAfterFirstGroupIfNone && lo == 0 && out.NumDetected == 0 {
-			out.Aborted = true
+	if numGroups == 0 {
+		return out
+	}
+
+	workers := opts.Workers
+	if workers < 1 || opts.OutputHook != nil {
+		workers = 1 // the hook's ordering contract requires sequential runs
+	}
+
+	first := 0
+	if opts.AbortAfterFirstGroupIfNone {
+		// The Section 4.2 effort reduction: the first group (target fault
+		// plus sample) always runs alone, before any fan-out.
+		var tb counterBatch
+		out.NumDetected = s.runGroup(seq, faults, 0, min(GroupSize, len(faults)), stop, opts, out, &tb)
+		tb.flush()
+		if out.NumDetected == 0 {
+			// Only a run that actually skipped groups counts as aborted;
+			// a fully simulated single-group run is a complete result.
+			out.Aborted = numGroups > 1
 			return out
 		}
+		first = 1
+	}
+	if rem := numGroups - first; workers > rem {
+		workers = rem
+	}
+
+	if workers <= 1 {
+		var tb counterBatch
+		for g := first; g < numGroups; g++ {
+			lo := g * GroupSize
+			out.NumDetected += s.runGroup(seq, faults, lo, min(lo+GroupSize, len(faults)), stop, opts, out, &tb)
+		}
+		tb.flush()
+		return out
+	}
+
+	// Parallel fan-out: workers pull group indices from an atomic cursor and
+	// write disjoint regions of the outcome; per-group detection counts are
+	// merged in group order afterwards, so the sum (and everything else) is
+	// independent of scheduling.
+	detected := make([]int, numGroups)
+	var cursor atomic.Int64
+	cursor.Store(int64(first))
+	var wg sync.WaitGroup
+	for _, ws := range s.workerSims(workers) {
+		wg.Add(1)
+		go func(ws *Simulator) {
+			defer wg.Done()
+			var tb counterBatch
+			defer tb.flush()
+			for {
+				g := int(cursor.Add(1)) - 1
+				if g >= numGroups {
+					return
+				}
+				lo := g * GroupSize
+				detected[g] = ws.runGroup(seq, faults, lo, min(lo+GroupSize, len(faults)), stop, opts, out, &tb)
+			}
+		}(ws)
+	}
+	wg.Wait()
+	for _, n := range detected[first:] {
+		out.NumDetected += n
 	}
 	return out
 }
 
+// counterBatch locally accumulates the hot-path telemetry counters of one
+// worker (or one sequential run) and flushes them with four atomic adds.
+// Totals stay exact under any worker count; only the add frequency changes.
+type counterBatch struct {
+	gateEvals, vectors, passes, dropped int64
+}
+
+func (b *counterBatch) flush() {
+	if b.passes == 0 {
+		return
+	}
+	telemetry.Add(telemetry.CtrGateEvals, b.gateEvals)
+	telemetry.Add(telemetry.CtrVectors, b.vectors)
+	telemetry.Add(telemetry.CtrGroupPasses, b.passes)
+	telemetry.Add(telemetry.CtrFaultsDropped, b.dropped)
+	*b = counterBatch{}
+}
+
 // runGroup simulates faults[lo:hi] (at most GroupSize of them) in slots
-// 1..hi-lo alongside the fault-free machine in slot 0.
-func (s *Simulator) runGroup(seq *sim.Sequence, faults []fault.Fault, lo, hi, stop int, opts Options, out *Outcome) {
+// 1..hi-lo alongside the fault-free machine in slot 0, writing only this
+// group's disjoint regions of out (Detected/DetTime/Lines for faults[lo:hi],
+// FinalStates[lo/GroupSize]) and returning the number of detections. Never
+// touching shared scalars is what makes the parallel fan-out race-free.
+func (s *Simulator) runGroup(seq *sim.Sequence, faults []fault.Fault, lo, hi, stop int, opts Options, out *Outcome, tb *counterBatch) int {
 	c := s.c
 	// Build injection tables. Stem masks and pin indices are cleared only at
 	// the nodes touched by the previous group.
@@ -237,10 +399,10 @@ func (s *Simulator) runGroup(seq *sim.Sequence, faults []fault.Fault, lo, hi, st
 		}
 	}
 
-	// Telemetry is accumulated locally and flushed with four atomic adds at
-	// the end of the pass, keeping the per-gate loop untouched.
+	// Telemetry is accumulated into the caller's batch (flushed once per
+	// worker with four atomic adds), keeping the per-gate loop untouched.
 	units := 0
-	detBefore := out.NumDetected
+	det := 0
 
 	state := s.next
 	if opts.InitialStates != nil {
@@ -302,8 +464,8 @@ func (s *Simulator) runGroup(seq *sim.Sequence, faults []fault.Fault, lo, hi, st
 				slot := trailingZeros(d)
 				fi := lo + slot - 1
 				out.Detected[fi] = true
-				out.DetTime[fi] = u
-				out.NumDetected++
+				out.DetTime[fi] = u + opts.TimeOffset
+				det++
 				activeMask &^= 1 << uint(slot)
 			}
 		}
@@ -347,10 +509,11 @@ func (s *Simulator) runGroup(seq *sim.Sequence, faults []fault.Fault, lo, hi, st
 		copy(saved, state)
 		out.FinalStates[lo/GroupSize] = saved
 	}
-	telemetry.Add(telemetry.CtrGateEvals, int64(units)*int64(len(s.gateID)))
-	telemetry.Add(telemetry.CtrVectors, int64(units))
-	telemetry.Add(telemetry.CtrGroupPasses, 1)
-	telemetry.Add(telemetry.CtrFaultsDropped, int64(out.NumDetected-detBefore))
+	tb.gateEvals += int64(units) * int64(len(s.gateID))
+	tb.vectors += int64(units)
+	tb.passes++
+	tb.dropped += int64(det)
+	return det
 }
 
 // inject applies the group's stem faults at node id.

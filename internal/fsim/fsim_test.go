@@ -146,17 +146,44 @@ func TestS27PaperSequenceDetectsAllFaults(t *testing.T) {
 }
 
 func TestAbortAfterFirstGroup(t *testing.T) {
-	// Using an all-zero sequence on a circuit whose faults need activity,
-	// the first group detects nothing and the run aborts early.
-	c := iscas.MustLoad("s27")
-	seq, _ := sim.ParseSequence("0000\n0000")
+	// Using an all-X sequence on a multi-group circuit, the first group
+	// detects nothing and the run aborts early, skipping the later groups.
+	c := iscas.MustLoad("s298")
+	seq := sim.NewSequence(c.NumInputs())
+	vec := make([]logic.V, c.NumInputs())
+	for i := range vec {
+		vec[i] = logic.X
+	}
+	seq.Append(vec)
+	seq.Append(vec)
 	faults := fault.CollapsedUniverse(c)
+	if len(faults) <= GroupSize {
+		t.Fatalf("need a multi-group fault list, got %d faults", len(faults))
+	}
 	out := Run(c, seq, faults, Options{Init: logic.X, AbortAfterFirstGroupIfNone: true})
 	if out.NumDetected != 0 {
 		t.Skip("sequence unexpectedly detects faults; abort path not exercised")
 	}
 	if !out.Aborted {
 		t.Fatal("expected Aborted")
+	}
+}
+
+func TestAbortedOnlyWhenGroupsRemain(t *testing.T) {
+	// A zero-detection run over a fault list that fits in one group is a
+	// complete simulation, not a cut-short one: Aborted must stay false.
+	c := iscas.MustLoad("s27")
+	seq, _ := sim.ParseSequence("0000\n0000")
+	faults := fault.CollapsedUniverse(c)
+	if len(faults) > GroupSize {
+		t.Fatalf("s27 fault list grew past one group (%d faults)", len(faults))
+	}
+	out := Run(c, seq, faults, Options{Init: logic.X, AbortAfterFirstGroupIfNone: true})
+	if out.NumDetected != 0 {
+		t.Skip("sequence unexpectedly detects faults; abort path not exercised")
+	}
+	if out.Aborted {
+		t.Fatal("fully simulated single-group run marked Aborted")
 	}
 }
 
