@@ -1,14 +1,22 @@
 # Developer entry points. `make test` is the tier-1 gate; `make race` adds
 # the race detector over the internal packages (including the
-# sequential-vs-parallel fsim determinism tests); `make bench-json` refreshes
-# the BENCH_pipeline.json baseline trajectory; `make bench-smoke` is the
-# cheap CI variant (one small circuit, parallel workers); `make
-# bench-parallel` writes the BENCH_parallel.json comparison entry against the
-# committed sequential baseline.
+# sequential-vs-parallel fsim determinism tests); `make fuzz-smoke` gives
+# every differential fuzz target a bounded run on top of the committed seed
+# corpora; `make cover-gate` fails if total statement coverage drops below
+# the repository baseline; `make bench-json` refreshes the
+# BENCH_pipeline.json baseline trajectory; `make bench-smoke` is the cheap CI
+# variant (one small circuit, parallel workers); `make bench-parallel` writes
+# the BENCH_parallel.json comparison entry against the committed sequential
+# baseline.
 
 GO ?= go
 
-.PHONY: all build test race vet bench-json bench-smoke bench-parallel
+# The differential fuzz targets of internal/difftest (see README
+# "Correctness tooling"). FUZZTIME bounds each target's smoke run.
+FUZZ_TARGETS = FuzzRefVsFsim FuzzFaultFreeVsSim FuzzWgenVsExpansion FuzzBenchRoundTrip
+FUZZTIME ?= 10s
+
+.PHONY: all build test race vet fuzz-smoke cover cover-gate bench-json bench-smoke bench-parallel
 
 all: build test race vet
 
@@ -23,6 +31,19 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+fuzz-smoke: build
+	@for t in $(FUZZ_TARGETS); do \
+		echo "=== $$t ($(FUZZTIME)) ==="; \
+		$(GO) test ./internal/difftest -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) || exit 1; \
+	done
+
+cover:
+	$(GO) test -count=1 -coverprofile=/tmp/wbist_cover.out ./...
+	$(GO) tool cover -func=/tmp/wbist_cover.out | tail -1
+
+cover-gate:
+	./scripts/cover_gate.sh
 
 bench-json: build
 	$(GO) run ./cmd/experiments -skip-large -workers 1 bench

@@ -1,7 +1,11 @@
 // Command circuitgen writes the benchmark suite's netlists as ISCAS-89
 // .bench files, so they can be inspected or consumed by external tools.
+// With -random it instead writes circuits from the seeded random generator
+// (the differential-fuzzing circuit decoder): one file per seed, so a
+// failing fuzz seed can be materialised for inspection.
 //
-//	circuitgen -o DIR [circuit ...]     (default: the whole suite)
+//	circuitgen -o DIR [circuit ...]       (default: the whole suite)
+//	circuitgen -o DIR -random 3 -seed 41  (rand-41, rand-42, rand-43)
 package main
 
 import (
@@ -15,12 +19,20 @@ import (
 
 func main() {
 	out := flag.String("o", ".", "output directory")
+	random := flag.Int("random", 0, "write this many random circuits instead of the suite")
+	seed := flag.Uint64("seed", 1, "first random-circuit seed (with -random)")
 	flag.Parse()
 	names := flag.Args()
 	if len(names) == 0 {
 		names = wbist.CircuitNames()
 	}
-	if err := run(*out, names); err != nil {
+	var err error
+	if *random > 0 {
+		err = runRandom(*out, *random, *seed)
+	} else {
+		err = run(*out, names)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "circuitgen:", err)
 		os.Exit(1)
 	}
@@ -35,20 +47,41 @@ func run(dir string, names []string) error {
 		if err != nil {
 			return err
 		}
-		path := filepath.Join(dir, name+".bench")
-		f, err := os.Create(path)
-		if err != nil {
+		if err := write(dir, name, c); err != nil {
 			return err
 		}
-		if err := wbist.WriteBench(f, c); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		st := c.Stats()
-		fmt.Printf("%s: %d PI, %d PO, %d FF, %d gates\n", path, st.Inputs, st.Outputs, st.DFFs, st.Gates)
 	}
+	return nil
+}
+
+func runRandom(dir string, n int, seed uint64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for k := 0; k < n; k++ {
+		s := seed + uint64(k)
+		c := wbist.RandomCircuitFromSeed(s)
+		if err := write(dir, fmt.Sprintf("rand-%d", s), c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func write(dir, name string, c *wbist.Circuit) error {
+	path := filepath.Join(dir, name+".bench")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := wbist.WriteBench(f, c); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	st := c.Stats()
+	fmt.Printf("%s: %d PI, %d PO, %d FF, %d gates\n", path, st.Inputs, st.Outputs, st.DFFs, st.Gates)
 	return nil
 }

@@ -1,0 +1,98 @@
+package difftest
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/iscas"
+	"repro/internal/logic"
+	"repro/internal/randutil"
+	"repro/internal/rcg"
+	"repro/internal/sim"
+)
+
+// TestDifferentialRefVsFsim is the acceptance gate of the differential
+// subsystem: over ≥1000 random (circuit, fault set, sequence) triples —
+// including multi-group fault lists, Workers>1 parallel runs, SaveStates
+// comparison, StopTime truncation and split continuation replays — ref and
+// fsim must agree bit for bit on Detected, DetTime and final states.
+func TestDifferentialRefVsFsim(t *testing.T) {
+	triples := 1000
+	if testing.Short() {
+		triples = 150
+	}
+	var multiGroup, parallel, saved, split int
+	for i := 0; i < triples; i++ {
+		seed := uint64(i)
+		c := rcg.FromSeed(seed)
+		rng := randutil.New(seed ^ 0xd1f7e57).Split()
+		seq := RandomStimulus(rng, c.NumInputs())
+		faults := SampleFaults(rng, fault.CollapsedUniverse(c))
+		cfg := ConfigFromSeed(rng.Uint64(), seq.Len())
+		if len(faults) > fsim.GroupSize {
+			multiGroup++
+		}
+		if cfg.Workers > 1 {
+			parallel++
+		}
+		if cfg.SaveStates {
+			saved++
+		}
+		if cfg.SplitContinuation && cfg.StopTime == 0 && seq.Len() >= 2 {
+			split++
+		}
+		if err := CheckTriple(c, seq, faults, cfg); err != nil {
+			t.Fatalf("triple %d: %v\n%s", i, err, Describe(c, seq, faults, cfg))
+		}
+	}
+	// The sweep must actually exercise the interesting axes, not just tiny
+	// single-group sequential runs.
+	if multiGroup == 0 || parallel == 0 || saved == 0 || split == 0 {
+		t.Fatalf("sweep too narrow: multiGroup=%d parallel=%d saveStates=%d split=%d",
+			multiGroup, parallel, saved, split)
+	}
+	t.Logf("%d triples: %d multi-group, %d parallel, %d with state compare, %d split replays",
+		triples, multiGroup, parallel, saved, split)
+}
+
+// TestDifferentialSuiteCircuits runs the oracle against fsim on the real
+// experiment circuits (the exact s27 and two synthetic suite members), full
+// collapsed fault universe, random binary stimulus, parallel workers.
+func TestDifferentialSuiteCircuits(t *testing.T) {
+	names := []string{"s27", "s298", "s344"}
+	if testing.Short() {
+		names = names[:2]
+	}
+	for _, name := range names {
+		c := iscas.MustLoad(name)
+		rng := randutil.New(0xabcde ^ uint64(len(name)))
+		faults := fault.CollapsedUniverse(c)
+		for k, init := range []logic.V{logic.Zero, logic.X} {
+			seq := sim.RandomSequence(rng, c.NumInputs(), 24)
+			cfg := Config{Init: init, Workers: 4, SaveStates: true, SplitContinuation: true}
+			if err := CheckTriple(c, seq, faults, cfg); err != nil {
+				t.Fatalf("%s (init case %d): %v\n%s", name, k, err, Describe(c, seq, faults, cfg))
+			}
+		}
+	}
+}
+
+// TestDifferentialFaultFreeVsSim checks fsim's fault-free machine (slot 0 of
+// the OutputHook words) cycle for cycle against the scalar logic simulator.
+func TestDifferentialFaultFreeVsSim(t *testing.T) {
+	n := 300
+	if testing.Short() {
+		n = 60
+	}
+	for i := 0; i < n; i++ {
+		seed := uint64(i) + 0x5eed
+		c := rcg.FromSeed(seed)
+		rng := randutil.New(seed).Split()
+		seq := RandomStimulus(rng, c.NumInputs())
+		init := []logic.V{logic.Zero, logic.One, logic.X}[rng.Intn(3)]
+		if err := CheckFaultFree(c, seq, init); err != nil {
+			t.Fatalf("seed %d: %v\nsequence:\n%s\nnetlist:\n%s", seed, err, seq, benchText(c))
+		}
+	}
+}

@@ -1,0 +1,200 @@
+// Package rcg is a seeded random synchronous-circuit generator for
+// correctness tooling. Unlike the profile-matched synthetic suite of package
+// iscas (which is tuned for random-pattern testability so the paper's
+// experiments behave realistically), rcg aims for *structural diversity*: it
+// draws gate types uniformly, allows dangling gates, single-gate fanout
+// chains, flip-flop self-loops and degenerate interfaces, because the point
+// is to stress the simulators and netlist tooling, not to look like
+// synthesized logic.
+//
+// Every circuit is generated deterministically from Params (ultimately from
+// a single integer seed via ParamsFromSeed), the combinational core is
+// acyclic by construction (gates only ever draw fanins from strictly earlier
+// gates or from primary inputs / flip-flop outputs), and Generate never
+// fails on normalized parameters — which is what makes the package usable as
+// the circuit decoder of the differential fuzz targets in
+// internal/difftest.
+package rcg
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/circuit"
+	"repro/internal/randutil"
+)
+
+// Params describe a random circuit. The zero value is not useful; call
+// Normalized (or start from ParamsFromSeed) to clamp every field into the
+// supported range.
+type Params struct {
+	// Name is the circuit name ("rcg" if empty).
+	Name string
+	// Inputs, Outputs, DFFs, Gates are the interface and size counts.
+	Inputs, Outputs, DFFs, Gates int
+	// MaxFanin bounds the fanin count of every gate (clamped to [2,6]).
+	MaxFanin int
+	// SelfLoops allows a flip-flop's D input to be driven directly by a
+	// source node — possibly the flip-flop itself — instead of a gate.
+	SelfLoops bool
+	// Seed drives every random choice.
+	Seed uint64
+}
+
+// Normalized returns p with every field clamped into the range Generate
+// supports: at least 1 input and output, at least 2 gates, outputs no more
+// numerous than gates, fanin bound in [2,6].
+func (p Params) Normalized() Params {
+	if p.Name == "" {
+		p.Name = "rcg"
+	}
+	p.Inputs = clamp(p.Inputs, 1, 64)
+	p.DFFs = clamp(p.DFFs, 0, 256)
+	p.Gates = clamp(p.Gates, 2, 4096)
+	p.Outputs = clamp(p.Outputs, 1, p.Gates)
+	p.MaxFanin = clamp(p.MaxFanin, 2, 6)
+	return p
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// ParamsFromSeed derives small fuzz-sized parameters from a single seed:
+// 1-8 inputs, 1-5 outputs, 0-8 flip-flops, 4-56 gates. The mapping is the
+// standard decoder used by the differential fuzz targets, so one uint64
+// names one circuit.
+func ParamsFromSeed(seed uint64) Params {
+	rng := randutil.New(seed)
+	return Params{
+		Name:      fmt.Sprintf("rcg-%d", seed),
+		Inputs:    1 + rng.Intn(8),
+		Outputs:   1 + rng.Intn(5),
+		DFFs:      rng.Intn(9),
+		Gates:     4 + rng.Intn(53),
+		MaxFanin:  2 + rng.Intn(4),
+		SelfLoops: rng.Bool(),
+		Seed:      rng.Uint64(),
+	}.Normalized()
+}
+
+// gateTypes is the uniform pool for multi-input gates.
+var gateTypes = []circuit.GateType{
+	circuit.And, circuit.Nand, circuit.Or, circuit.Nor,
+	circuit.Xor, circuit.Xnor,
+}
+
+// Generate builds a random synchronous circuit from p (normalized first).
+// The result is always a valid circuit: acyclic combinational core, every
+// referenced node defined, at least one primary input and output.
+func Generate(p Params) (*circuit.Circuit, error) {
+	p = p.Normalized()
+	rng := randutil.New(p.Seed)
+
+	srcName := func(k int) string {
+		if k < p.Inputs {
+			return fmt.Sprintf("pi%d", k)
+		}
+		return fmt.Sprintf("ff%d", k-p.Inputs)
+	}
+	gateName := func(k int) string { return fmt.Sprintf("n%d", k) }
+	nSrc := p.Inputs + p.DFFs
+
+	b := circuit.NewBuilder(p.Name)
+	for i := 0; i < p.Inputs; i++ {
+		b.Input(srcName(i))
+	}
+
+	// Gates draw fanins from the pool of sources and strictly earlier gates,
+	// which keeps the combinational core acyclic by construction. Duplicate
+	// fanin candidates are dropped (the pool is small early on, so a gate may
+	// end up with fewer fanins than drawn; 1-input gates become BUF/NOT).
+	for k := 0; k < p.Gates; k++ {
+		nf := 1 + rng.Intn(p.MaxFanin)
+		seen := map[string]bool{}
+		var fanins []string
+		for len(fanins) < nf {
+			var cand string
+			if k == 0 || rng.Intn(100) < 35 {
+				cand = srcName(rng.Intn(nSrc))
+			} else {
+				cand = gateName(rng.Intn(k))
+			}
+			if seen[cand] {
+				break
+			}
+			seen[cand] = true
+			fanins = append(fanins, cand)
+		}
+		var typ circuit.GateType
+		if len(fanins) == 1 {
+			if rng.Bool() {
+				typ = circuit.Buf
+			} else {
+				typ = circuit.Not
+			}
+			// Single-input forms of the multi-input gates are legal in the
+			// netlist model (NAND(a) == NOT(a)); emit them occasionally so
+			// the simulators' 1-fanin paths see every gate type.
+			if rng.Intn(4) == 0 {
+				typ = gateTypes[rng.Intn(len(gateTypes))]
+			}
+		} else {
+			typ = gateTypes[rng.Intn(len(gateTypes))]
+		}
+		b.Gate(gateName(k), typ, fanins...)
+	}
+
+	// Flip-flop D inputs come from the deeper half of the gate list; with
+	// SelfLoops a quarter of them instead tap a source directly (possibly the
+	// flip-flop's own output — a legal 1-cycle state feedback).
+	for k := 0; k < p.DFFs; k++ {
+		var d string
+		if p.SelfLoops && rng.Intn(4) == 0 {
+			d = srcName(rng.Intn(nSrc))
+		} else {
+			d = gateName(p.Gates/2 + rng.Intn(p.Gates-p.Gates/2))
+		}
+		b.DFF(srcName(p.Inputs+k), d)
+	}
+
+	// Primary outputs: distinct gates, chosen uniformly.
+	perm := rng.Perm(p.Gates)
+	for _, g := range perm[:p.Outputs] {
+		b.Output(gateName(g))
+	}
+
+	return b.Build()
+}
+
+// MustGenerate is Generate, panicking on error. Generate cannot fail on
+// normalized parameters, so a panic indicates a bug in this package.
+func MustGenerate(p Params) *circuit.Circuit {
+	c, err := Generate(p)
+	if err != nil {
+		panic(fmt.Sprintf("rcg: %v", err))
+	}
+	return c
+}
+
+// FromSeed is shorthand for MustGenerate(ParamsFromSeed(seed)).
+func FromSeed(seed uint64) *circuit.Circuit {
+	return MustGenerate(ParamsFromSeed(seed))
+}
+
+// Bench renders c as ISCAS-89 .bench text (the failure-reporting format of
+// the differential tests: a mismatch message carries the whole netlist).
+func Bench(c *circuit.Circuit) string {
+	var sb strings.Builder
+	if err := bench.Write(&sb, c); err != nil {
+		panic(fmt.Sprintf("rcg: bench render: %v", err))
+	}
+	return sb.String()
+}

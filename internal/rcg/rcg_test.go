@@ -1,0 +1,115 @@
+package rcg
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/circuit"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := Params{Inputs: 4, Outputs: 3, DFFs: 5, Gates: 30, Seed: 99}
+	a := MustGenerate(p)
+	b := MustGenerate(p)
+	if Bench(a) != Bench(b) {
+		t.Fatal("same params produced different circuits")
+	}
+	if Bench(a) == Bench(MustGenerate(Params{Inputs: 4, Outputs: 3, DFFs: 5, Gates: 30, Seed: 100})) {
+		t.Fatal("different seeds produced identical circuits")
+	}
+}
+
+func TestGenerateRespectsParams(t *testing.T) {
+	p := Params{Inputs: 6, Outputs: 4, DFFs: 7, Gates: 40, MaxFanin: 3, Seed: 5}
+	c := MustGenerate(p)
+	s := c.Stats()
+	if s.Inputs != 6 || s.Outputs != 4 || s.DFFs != 7 || s.Gates != 40 {
+		t.Fatalf("stats %v do not match params %+v", s, p)
+	}
+	for _, id := range c.Order {
+		if n := len(c.Nodes[id].Fanins); n > 3 {
+			t.Fatalf("gate %s has %d fanins, MaxFanin 3", c.Nodes[id].Name, n)
+		}
+	}
+}
+
+func TestNormalizedClamps(t *testing.T) {
+	p := Params{Inputs: -3, Outputs: 100, DFFs: -1, Gates: 3, MaxFanin: 99}.Normalized()
+	if p.Inputs != 1 || p.DFFs != 0 || p.Gates != 3 || p.Outputs != 3 || p.MaxFanin != 6 {
+		t.Fatalf("unexpected clamp: %+v", p)
+	}
+	if _, err := Generate(Params{}); err != nil {
+		t.Fatalf("zero params should generate after normalization: %v", err)
+	}
+}
+
+// TestParamsFromSeedAlwaysBuilds is the decoder guarantee the fuzz targets
+// rely on: every seed yields a circuit that builds and levelizes.
+func TestParamsFromSeedAlwaysBuilds(t *testing.T) {
+	n := 2000
+	if testing.Short() {
+		n = 300
+	}
+	for seed := 0; seed < n; seed++ {
+		c := FromSeed(uint64(seed))
+		if c.NumInputs() < 1 || c.NumOutputs() < 1 || c.NumGates() < 2 {
+			t.Fatalf("seed %d: degenerate circuit %v", seed, c.Stats())
+		}
+	}
+}
+
+// TestSelfLoopDFF pins down that self-loops actually occur and build: some
+// seed must produce a flip-flop whose D input is a source node.
+func TestSelfLoopDFF(t *testing.T) {
+	found := false
+	for seed := uint64(0); seed < 400 && !found; seed++ {
+		p := ParamsFromSeed(seed)
+		if !p.SelfLoops || p.DFFs == 0 {
+			continue
+		}
+		c := MustGenerate(p)
+		for _, id := range c.DFFs {
+			d := c.Nodes[id].Fanins[0]
+			if !c.Nodes[d].Type.IsGate() {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no seed in 0..399 produced a source-driven flip-flop")
+	}
+}
+
+func TestBenchTextParsesBack(t *testing.T) {
+	c := FromSeed(7)
+	text := Bench(c)
+	if !strings.Contains(text, "INPUT(") {
+		t.Fatalf("bench text missing inputs:\n%s", text)
+	}
+	r, err := bench.Parse(c.Name, strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("generated bench text does not parse: %v\n%s", err, text)
+	}
+	if r.Stats() != c.Stats() {
+		t.Fatalf("round-trip stats differ: %v vs %v", r.Stats(), c.Stats())
+	}
+}
+
+func TestGateTypeDiversity(t *testing.T) {
+	seen := map[circuit.GateType]bool{}
+	for seed := uint64(0); seed < 50; seed++ {
+		c := FromSeed(seed)
+		for _, id := range c.Order {
+			seen[c.Nodes[id].Type] = true
+		}
+	}
+	for _, typ := range []circuit.GateType{
+		circuit.Buf, circuit.Not, circuit.And, circuit.Nand,
+		circuit.Or, circuit.Nor, circuit.Xor, circuit.Xnor,
+	} {
+		if !seen[typ] {
+			t.Errorf("gate type %v never generated across 50 seeds", typ)
+		}
+	}
+}

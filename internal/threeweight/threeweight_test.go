@@ -8,6 +8,7 @@ import (
 	"repro/internal/iscas"
 	"repro/internal/lfsr"
 	"repro/internal/logic"
+	"repro/internal/randutil"
 	"repro/internal/sim"
 )
 
@@ -154,5 +155,206 @@ func TestEvaluateBaselineOnS27(t *testing.T) {
 func TestWeightString(t *testing.T) {
 	if W0.String() != "0" || WHalf.String() != "0.5" || W1.String() != "1" {
 		t.Fatal("Weight.String wrong")
+	}
+}
+
+// TestIntersectSingleUnitWindow pins the lo == hi boundary: a one-vector
+// window intersects to the vector itself (0 → W0, 1 → W1) except that an X
+// can never yield a constant weight.
+func TestIntersectSingleUnitWindow(t *testing.T) {
+	seq, err := sim.ParseSequence("01X\n10X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u, want := range []Assignment{{W0, W1, WHalf}, {W1, W0, WHalf}} {
+		a, err := Intersect(seq, u, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if a[i] != want[i] {
+				t.Errorf("unit %d weight[%d] = %v, want %v", u, i, a[i], want[i])
+			}
+		}
+	}
+	// Both boundary windows of the sequence must be accepted.
+	if _, err := Intersect(seq, 0, 0); err != nil {
+		t.Errorf("window [0,0]: %v", err)
+	}
+	if _, err := Intersect(seq, seq.Len()-1, seq.Len()-1); err != nil {
+		t.Errorf("window [last,last]: %v", err)
+	}
+}
+
+// TestIntersectMatchesBruteForce cross-checks Intersect against a direct
+// per-column recount on random sequences and random windows (seeded, so the
+// sweep is reproducible).
+func TestIntersectMatchesBruteForce(t *testing.T) {
+	rng := randutil.New(0x3e16)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(6)
+		l := 1 + rng.Intn(12)
+		seq := sim.NewSequence(n)
+		vec := make([]logic.V, n)
+		for u := 0; u < l; u++ {
+			for i := range vec {
+				vec[i] = []logic.V{logic.Zero, logic.One, logic.X}[rng.Intn(3)]
+			}
+			seq.Append(vec)
+		}
+		lo := rng.Intn(l)
+		hi := lo + rng.Intn(l-lo)
+		a, err := Intersect(seq, lo, hi)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := 0; i < n; i++ {
+			zeros, ones := 0, 0
+			for u := lo; u <= hi; u++ {
+				switch seq.At(u, i) {
+				case logic.Zero:
+					zeros++
+				case logic.One:
+					ones++
+				}
+			}
+			span := hi - lo + 1
+			var want Weight
+			switch {
+			case zeros == span:
+				want = W0
+			case ones == span:
+				want = W1
+			default:
+				want = WHalf
+			}
+			if a[i] != want {
+				t.Fatalf("trial %d window [%d,%d] input %d: %v, brute force %v",
+					trial, lo, hi, i, a[i], want)
+			}
+		}
+	}
+}
+
+// TestGenSequenceConstantAssignments pins the all-constant boundary: with no
+// WHalf input the generated sequence is fully determined and the LFSR is
+// never consumed, so a following WHalf assignment sees an unshifted source.
+func TestGenSequenceConstantAssignments(t *testing.T) {
+	src, _ := lfsr.New(16, 1)
+	ref, _ := lfsr.New(16, 1)
+	seq := GenSequence(Assignment{W0, W1, W0}, 20, src)
+	for u := 0; u < seq.Len(); u++ {
+		if seq.At(u, 0) != logic.Zero || seq.At(u, 2) != logic.Zero || seq.At(u, 1) != logic.One {
+			t.Fatalf("t=%d: constant assignment produced %v %v %v",
+				u, seq.At(u, 0), seq.At(u, 1), seq.At(u, 2))
+		}
+	}
+	if src.Step() != ref.Step() {
+		t.Fatal("all-constant assignment consumed LFSR bits")
+	}
+}
+
+// TestGenSequenceZeroLength pins lg == 0: an empty (but well-formed) sequence.
+func TestGenSequenceZeroLength(t *testing.T) {
+	src, _ := lfsr.New(16, 1)
+	seq := GenSequence(Assignment{WHalf}, 0, src)
+	if seq.Len() != 0 || seq.NumInputs != 1 {
+		t.Fatalf("lg=0: Len=%d NumInputs=%d", seq.Len(), seq.NumInputs)
+	}
+}
+
+// TestDeriveWindowBoundaries checks window clamping at the sequence start
+// (detection at t=0 with a wide window) and windows larger than the whole
+// sequence.
+func TestDeriveWindowBoundaries(t *testing.T) {
+	seq, _ := sim.ParseSequence("01\n10\n11")
+	// Detection at t=0, window 4: lo clamps to 0, a single-unit window.
+	as, err := Derive(seq, []int{0}, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := Intersect(seq, 0, 0)
+	if len(as) != 1 || as[0].String() != want.String() {
+		t.Fatalf("clamped window: %v, want [%v]", as, want)
+	}
+	// Window covering everything: equivalent to intersecting the whole
+	// sequence at the last detection time.
+	as, err = Derive(seq, []int{2}, 100, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ = Intersect(seq, 0, 2)
+	if len(as) != 1 || as[0].String() != want.String() {
+		t.Fatalf("oversized window: %v, want [%v]", as, want)
+	}
+	// maxAssignments == 0 derives nothing, which is an error.
+	if _, err := Derive(seq, []int{0, 1, 2}, 1, 0); err == nil {
+		t.Error("maxAssignments=0 accepted")
+	}
+}
+
+// TestDeriveHardFaultsFirst checks the ordering contract: windows around the
+// largest detection times come first, and identical windows deduplicate even
+// when they arise from different detection times.
+func TestDeriveHardFaultsFirst(t *testing.T) {
+	seq, _ := sim.ParseSequence("00\n00\n11\n00")
+	as, err := Derive(seq, []int{0, 2, 2, 0}, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != 2 {
+		t.Fatalf("%d assignments, want 2 (duplicates suppressed)", len(as))
+	}
+	// t=2 ("11") is the hard fault and must come first; t=0 ("00") second.
+	if as[0].String() != "(1, 1)" || as[1].String() != "(0, 0)" {
+		t.Fatalf("order: %v, %v", as[0], as[1])
+	}
+}
+
+// TestDeriveRandomisedInvariant checks over seeded random inputs that Derive
+// always honours the cap, never emits duplicates and only emits window
+// intersections of the sequence it was given.
+func TestDeriveRandomisedInvariant(t *testing.T) {
+	rng := randutil.New(0xd317e)
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(5)
+		l := 2 + rng.Intn(10)
+		seq := sim.NewSequence(n)
+		vec := make([]logic.V, n)
+		for u := 0; u < l; u++ {
+			for i := range vec {
+				vec[i] = logic.FromBit(rng.Bool())
+			}
+			seq.Append(vec)
+		}
+		det := make([]int, 1+rng.Intn(12))
+		for i := range det {
+			det[i] = rng.Intn(l+1) - 1 // includes -1 (undetected)
+		}
+		window := 1 + rng.Intn(4)
+		maxA := 1 + rng.Intn(5)
+		as, err := Derive(seq, det, window, maxA)
+		if err != nil {
+			// Legal only when no detection time is in range.
+			for _, u := range det {
+				if u >= 0 && u < l {
+					t.Fatalf("trial %d: Derive failed with valid time %d: %v", trial, u, err)
+				}
+			}
+			continue
+		}
+		if len(as) > maxA {
+			t.Fatalf("trial %d: %d assignments over cap %d", trial, len(as), maxA)
+		}
+		seen := map[string]bool{}
+		for _, a := range as {
+			if seen[a.String()] {
+				t.Fatalf("trial %d: duplicate %v", trial, a)
+			}
+			seen[a.String()] = true
+			if len(a) != n {
+				t.Fatalf("trial %d: width %d, want %d", trial, len(a), n)
+			}
+		}
 	}
 }

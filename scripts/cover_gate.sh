@@ -1,0 +1,25 @@
+#!/bin/sh
+# Coverage gate: run the full test suite with a coverage profile and fail if
+# total statement coverage drops below COVER_MIN (percent). The threshold is
+# set a hair under the measured repository baseline so refactors have slack
+# but a PR that lands untested code fails CI.
+set -eu
+
+min="${COVER_MIN:-77.5}"
+profile="${COVER_PROFILE:-/tmp/wbist_cover.out}"
+
+go test -count=1 -coverprofile="$profile" ./... >/dev/null
+
+total=$(go tool cover -func="$profile" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
+if [ -z "$total" ]; then
+    echo "cover_gate: could not extract total coverage from $profile" >&2
+    exit 2
+fi
+
+awk -v t="$total" -v m="$min" 'BEGIN {
+    if (t + 0 < m + 0) {
+        printf "cover_gate: total coverage %.1f%% is below the %.1f%% gate\n", t, m
+        exit 1
+    }
+    printf "cover_gate: total coverage %.1f%% (gate %.1f%%)\n", t, m
+}'

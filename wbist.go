@@ -38,6 +38,8 @@ import (
 	"repro/internal/iscas"
 	"repro/internal/logic"
 	"repro/internal/obs"
+	"repro/internal/rcg"
+	"repro/internal/ref"
 	"repro/internal/scoap"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -277,3 +279,28 @@ func ServeDebug(addr string) (string, error) { return telemetry.ServeDebug(addr)
 // ClearRunCache drops the memoized pipeline runs (fresh-measurement helper
 // for benchmarking tools).
 func ClearRunCache() { expt.ClearCache() }
+
+// RCGParams parameterises the seeded random circuit generator (all counts
+// clamped into supported ranges; deterministic in Seed).
+type RCGParams = rcg.Params
+
+// RandomCircuit generates a random synchronous circuit for correctness
+// tooling: guaranteed acyclic combinational core, structurally diverse
+// (uniform gate types, optional flip-flop self-loops, degenerate interfaces
+// allowed). The whole pipeline accepts the result like any benchmark.
+func RandomCircuit(p RCGParams) (*Circuit, error) { return rcg.Generate(p) }
+
+// RandomCircuitFromSeed derives small fuzz-sized parameters from a single
+// seed and generates the circuit (the decoder of the differential fuzz
+// targets: one uint64 names one circuit).
+func RandomCircuitFromSeed(seed uint64) *Circuit { return rcg.FromSeed(seed) }
+
+// ReferenceSimulate runs the deliberately naive reference fault simulator —
+// one fault at a time, scalar three-valued evaluation through restated truth
+// tables, sharing no code with Simulate's bit-parallel engine — and returns
+// the same detection shape as Simulate. Agreement between the two on the
+// same inputs is the repository's correctness oracle (see DESIGN.md).
+func ReferenceSimulate(c *Circuit, seq *Sequence, faults []Fault, init Value) (detected []bool, detTime []int) {
+	out := ref.Run(c, seq, faults, ref.Options{Init: init})
+	return out.Detected, out.DetTime
+}
