@@ -7,16 +7,17 @@
 # BENCH_pipeline.json baseline trajectory; `make bench-smoke` is the cheap CI
 # variant (one small circuit, parallel workers); `make bench-parallel` writes
 # the BENCH_parallel.json comparison entry against the committed sequential
-# baseline.
+# baseline; `make bench-kernel` refreshes the BENCH_event.json dense-vs-event
+# kernel comparison.
 
 GO ?= go
 
 # The differential fuzz targets of internal/difftest (see README
 # "Correctness tooling"). FUZZTIME bounds each target's smoke run.
-FUZZ_TARGETS = FuzzRefVsFsim FuzzFaultFreeVsSim FuzzWgenVsExpansion FuzzBenchRoundTrip
+FUZZ_TARGETS = FuzzRefVsFsim FuzzEventVsDense FuzzFaultFreeVsSim FuzzWgenVsExpansion FuzzBenchRoundTrip
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet fuzz-smoke cover cover-gate bench-json bench-smoke bench-parallel
+.PHONY: all build test race vet fuzz-smoke cover cover-gate bench-json bench-smoke bench-parallel bench-kernel
 
 all: build test race vet
 
@@ -53,3 +54,6 @@ bench-smoke: build
 
 bench-parallel: build
 	$(GO) run ./cmd/experiments -skip-large -bench-json BENCH_parallel.json bench
+
+bench-kernel: build
+	$(GO) run ./cmd/experiments kernelbench

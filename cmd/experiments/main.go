@@ -4,15 +4,20 @@
 //	experiments [-skip-large] [-lg N] [-seed N] [-workers N] [section ...]
 //
 // Sections: table1 table2 table3 table4 table5 table6 obs figure1 baselines
-// random selftest bench (default: all but bench). -skip-large omits s5378
-// and s35932 from table6 and s5378 from the observation-point tables.
-// -workers shards fault simulation over N goroutines (default GOMAXPROCS;
-// every result is bit-identical for any value). The bench section runs each
-// Table 6 circuit (restrictable with -circuits name,name for cheap CI
-// smokes) with a fresh telemetry recorder and writes per-circuit phase
-// timings and counters to -bench-json (the BENCH_pipeline.json baseline
-// trajectory). -progress streams per-phase telemetry to stderr and -pprof
-// serves pprof/expvar while the run lasts.
+// random selftest bench kernelbench (default: all but bench and
+// kernelbench). -skip-large omits s5378 and s35932 from table6 and s5378
+// from the observation-point tables. -workers shards fault simulation over N
+// goroutines (default GOMAXPROCS; every result is bit-identical for any
+// value) and -kernel selects the fault-simulation kernel (auto/event/dense;
+// also bit-identical). The bench section runs each Table 6 circuit
+// (restrictable with -circuits name,name for cheap CI smokes) with a fresh
+// telemetry recorder and writes per-circuit phase timings and counters to
+// -bench-json (the BENCH_pipeline.json baseline trajectory). The kernelbench
+// section times the dense and event kernels head to head on the suite
+// circuits under the pipeline's dominant workload (weighted-sequence
+// re-simulation) and writes the comparison to -kernel-json (the
+// BENCH_event.json baseline). -progress streams per-phase telemetry to
+// stderr and -pprof serves pprof/expvar while the run lasts.
 package main
 
 import (
@@ -26,21 +31,26 @@ import (
 
 	"repro"
 	"repro/internal/core"
+	"repro/internal/expt"
+	"repro/internal/fsim"
 	"repro/internal/lfsr"
+	"repro/internal/randutil"
 	"repro/internal/sim"
 	"repro/internal/tables"
 	"repro/internal/threeweight"
 )
 
 var (
-	flagSkipLarge = flag.Bool("skip-large", false, "skip s5378 and s35932")
-	flagLG        = flag.Int("lg", 0, "per-assignment sequence length (0 = default)")
-	flagSeed      = flag.Uint64("seed", 1, "master seed")
-	flagWorkers   = flag.Int("workers", runtime.GOMAXPROCS(0), "fault-simulation worker goroutines (results are identical for any value)")
-	flagBenchJSON = flag.String("bench-json", "BENCH_pipeline.json", "output file of the bench section")
-	flagCircuits  = flag.String("circuits", "", "comma-separated circuit filter for the bench section (empty = all Table 6 circuits)")
-	flagProgress  = flag.Bool("progress", false, "print per-phase telemetry progress to stderr")
-	flagPprof     = flag.String("pprof", "", "serve net/http/pprof and expvar on this address")
+	flagSkipLarge  = flag.Bool("skip-large", false, "skip s5378 and s35932")
+	flagLG         = flag.Int("lg", 0, "per-assignment sequence length (0 = default)")
+	flagSeed       = flag.Uint64("seed", 1, "master seed")
+	flagWorkers    = flag.Int("workers", runtime.GOMAXPROCS(0), "fault-simulation worker goroutines (results are identical for any value)")
+	flagKernel     = flag.String("kernel", "auto", "fault-simulation kernel: auto, event or dense (results are identical for any value)")
+	flagBenchJSON  = flag.String("bench-json", "BENCH_pipeline.json", "output file of the bench section")
+	flagKernelJSON = flag.String("kernel-json", "BENCH_event.json", "output file of the kernelbench section")
+	flagCircuits   = flag.String("circuits", "", "comma-separated circuit filter for the bench section (empty = all Table 6 circuits)")
+	flagProgress   = flag.Bool("progress", false, "print per-phase telemetry progress to stderr")
+	flagPprof      = flag.String("pprof", "", "serve net/http/pprof and expvar on this address")
 )
 
 func main() {
@@ -58,7 +68,12 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "experiments: pprof/expvar on http://%s/debug/\n", addr)
 	}
-	cfg := wbist.Config{LG: *flagLG, Seed: *flagSeed, Workers: *flagWorkers}
+	kernel, err := wbist.ParseKernel(*flagKernel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
+	cfg := wbist.Config{LG: *flagLG, Seed: *flagSeed, Workers: *flagWorkers, Kernel: kernel}
 	if *flagProgress {
 		cfg.Telemetry = wbist.NewRecorder()
 		cfg.Telemetry.SetProgress(os.Stderr)
@@ -90,6 +105,8 @@ func main() {
 			err = selftest(cfg)
 		case "bench":
 			err = benchJSON(cfg)
+		case "kernelbench":
+			err = kernelBench(cfg)
 		default:
 			err = fmt.Errorf("unknown section %q", s)
 		}
@@ -464,6 +481,176 @@ func benchJSON(cfg wbist.Config) error {
 		return err
 	}
 	fmt.Printf("bench: wrote %d circuit(s) to %s\n", len(out.Circuits), *flagBenchJSON)
+	return nil
+}
+
+// kernelBench times the dense and event fault-simulation kernels head to
+// head and writes the BENCH_event.json comparison. The workload is the
+// pipeline's dominant one — re-simulating a weighted sequence (short
+// per-input subsequences repeated periodically, so consecutive vectors
+// differ in few inputs) against the collapsed fault list — which is what the
+// Section 4 candidate-scoring and reverse-order passes spend their time on.
+// Workers is pinned to 1 so the comparison isolates the kernel; fault lists
+// are capped at 10 groups to keep the large circuits affordable.
+func kernelBench(cfg wbist.Config) error {
+	type kernelStats struct {
+		WallNS          int64   `json:"wall_ns"`
+		GateEvals       int64   `json:"gate_evals"`
+		EventsScheduled int64   `json:"events_scheduled"`
+		GatesSkipped    int64   `json:"gates_skipped"`
+		ConeHits        int64   `json:"cone_hits"`
+		EvalsPerVector  float64 `json:"evals_per_vector"`
+	}
+	type circuitBench struct {
+		Circuit string `json:"circuit"`
+		Gates   int    `json:"gates"`
+		Faults  int    `json:"faults"`
+		// Vectors is the total vector count over all fault-group passes
+		// (identical for both kernels: outcomes are bit-identical, so the
+		// all-detected early exits fire at the same time units).
+		Vectors int64       `json:"vectors"`
+		Dense   kernelStats `json:"dense"`
+		Event   kernelStats `json:"event"`
+		// EvalReduction is dense gate evals / event gate evals (higher is
+		// better); Speedup is dense wall / event wall.
+		EvalReduction float64 `json:"eval_reduction"`
+		Speedup       float64 `json:"speedup"`
+	}
+	type benchFile struct {
+		Schema   string         `json:"schema"`
+		Config   map[string]any `json:"config"`
+		Circuits []circuitBench `json:"circuits"`
+	}
+	lg := cfg.LG
+	if lg == 0 {
+		lg = 2000
+	}
+	const maxGroups = 10
+	out := benchFile{
+		Schema: "wbist-bench-kernel/v1",
+		Config: map[string]any{"lg": lg, "seed": cfg.Seed, "workers": 1, "max_fault_groups": maxGroups},
+	}
+	only := map[string]bool{}
+	if *flagCircuits != "" {
+		for _, name := range strings.Split(*flagCircuits, ",") {
+			only[strings.TrimSpace(name)] = true
+		}
+	}
+	names := append([]string{"s27"}, wbist.Table6Names()...)
+	for _, name := range names {
+		if *flagSkipLarge && (name == "s5378" || name == "s35932") {
+			continue
+		}
+		if len(only) > 0 && !only[name] {
+			continue
+		}
+		c, err := wbist.LoadCircuit(name)
+		if err != nil {
+			return err
+		}
+		faults := wbist.Faults(c)
+		if len(faults) > maxGroups*63 {
+			faults = faults[:maxGroups*63]
+		}
+		// A weighted sequence with the paper's subsequence lengths: most
+		// inputs are constant or toggle with a short period, the low input
+		// activity the event kernel exploits in production.
+		rng := randutil.New(cfg.Seed + 977)
+		subs := make([]string, c.NumInputs())
+		lengths := []int{1, 1, 2, 2, 4, 8}
+		for i := range subs {
+			b := make([]byte, lengths[rng.Intn(len(lengths))])
+			for j := range b {
+				b[j] = '0' + byte(rng.Intn(2))
+			}
+			subs[i] = string(b)
+		}
+		seq := core.Assignment{Subs: subs}.GenSequence(lg)
+		init := expt.InitFor(name)
+
+		s := fsim.New(c)
+		// One calibration pass per kernel collects the (deterministic)
+		// counters and sizes the timed batches; the timed repetitions of
+		// the two kernels are then interleaved so that slow clock or load
+		// drift hits both equally, and each keeps its fastest repetition.
+		calibrate := func(k wbist.Kernel) (kernelStats, int64, int64) {
+			opts := fsim.Options{Init: init, Workers: 1, Kernel: k}
+			s.Run(seq, faults, opts) // warm-up run, untimed
+			before := wbist.Counters()
+			t0 := time.Now()
+			s.Run(seq, faults, opts)
+			wall := time.Since(t0).Nanoseconds()
+			d := wbist.Counters().Sub(before).Map()
+			vecs := d["fsim.vectors"]
+			st := kernelStats{
+				WallNS:          wall,
+				GateEvals:       d["fsim.gate_evals"],
+				EventsScheduled: d["fsim.events_scheduled"],
+				GatesSkipped:    d["fsim.gates_skipped"],
+				ConeHits:        d["fsim.cone_hits"],
+			}
+			if vecs > 0 {
+				st.EvalsPerVector = float64(st.GateEvals) / float64(vecs)
+			}
+			// Small circuits finish in microseconds, where scheduler noise
+			// swamps the signal: batch runs until a repetition spans a few
+			// milliseconds.
+			iters := int64(1)
+			if wall > 0 && wall < 8e6 {
+				iters = 8e6/wall + 1
+			}
+			return st, vecs, iters
+		}
+		timed := func(k wbist.Kernel, iters int64) int64 {
+			opts := fsim.Options{Init: init, Workers: 1, Kernel: k}
+			t0 := time.Now()
+			for i := int64(0); i < iters; i++ {
+				s.Run(seq, faults, opts)
+			}
+			return time.Since(t0).Nanoseconds() / iters
+		}
+		dense, vecs, denseIters := calibrate(wbist.KernelDense)
+		event, _, eventIters := calibrate(wbist.KernelEvent)
+		for rep := 0; rep < 5; rep++ {
+			if w := timed(wbist.KernelDense, denseIters); w < dense.WallNS {
+				dense.WallNS = w
+			}
+			if w := timed(wbist.KernelEvent, eventIters); w < event.WallNS {
+				event.WallNS = w
+			}
+		}
+		cb := circuitBench{
+			Circuit: name,
+			Gates:   c.NumGates(),
+			Faults:  len(faults),
+			Vectors: vecs,
+			Dense:   dense,
+			Event:   event,
+		}
+		if event.GateEvals > 0 {
+			cb.EvalReduction = float64(dense.GateEvals) / float64(event.GateEvals)
+		}
+		if event.WallNS > 0 {
+			cb.Speedup = float64(dense.WallNS) / float64(event.WallNS)
+		}
+		out.Circuits = append(out.Circuits, cb)
+		fmt.Fprintf(os.Stderr, "kernelbench: %s evals %.1fx, wall %.2fx\n",
+			name, cb.EvalReduction, cb.Speedup)
+	}
+	f, err := os.Create(*flagKernelJSON)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("kernelbench: wrote %d circuit(s) to %s\n", len(out.Circuits), *flagKernelJSON)
 	return nil
 }
 

@@ -17,9 +17,11 @@
 //
 // Common flags (before the subcommand): -lg, -seed, -random, -misr, -workers
 // (fault-simulation worker goroutines, default GOMAXPROCS; results are
-// bit-identical for any value), plus the observability flags -metrics <file>
-// (JSON-lines span export), -progress (per-phase progress on stderr) and
-// -pprof <addr> (pprof/expvar server).
+// bit-identical for any value), -kernel <auto|event|dense> (fault-simulation
+// gate-evaluation kernel; "auto" honors FSIM_KERNEL and defaults to the
+// event-driven kernel, results are bit-identical either way), plus the
+// observability flags -metrics <file> (JSON-lines span export), -progress
+// (per-phase progress on stderr) and -pprof <addr> (pprof/expvar server).
 package main
 
 import (
@@ -39,6 +41,7 @@ var (
 	flagRandom   = flag.Int("random", 0, "pseudo-random LFSR windows before weight selection")
 	flagMISR     = flag.Int("misr", 16, "MISR width for the selftest subcommand")
 	flagWorkers  = flag.Int("workers", runtime.GOMAXPROCS(0), "fault-simulation worker goroutines (results are identical for any value)")
+	flagKernel   = flag.String("kernel", "auto", "fault-simulation kernel: auto, event or dense (results are identical for any value)")
 	flagMetrics  = flag.String("metrics", "", "write telemetry span events to this file as JSON lines")
 	flagProgress = flag.Bool("progress", false, "print per-phase progress to stderr")
 	flagPprof    = flag.String("pprof", "", "serve net/http/pprof and expvar on this address")
@@ -67,7 +70,12 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wbist: pprof/expvar on http://%s/debug/\n", addr)
 	}
-	cfg := wbist.Config{LG: *flagLG, Seed: *flagSeed, RandomWindows: *flagRandom, Workers: *flagWorkers}
+	kernel, err := wbist.ParseKernel(*flagKernel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wbist:", err)
+		os.Exit(2)
+	}
+	cfg := wbist.Config{LG: *flagLG, Seed: *flagSeed, RandomWindows: *flagRandom, Workers: *flagWorkers, Kernel: kernel}
 	rec, finish, err := setupTelemetry(args[0])
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wbist:", err)

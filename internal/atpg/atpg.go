@@ -63,6 +63,10 @@ type Options struct {
 	// Workers is the fault-simulation worker count handed to fsim (0 or 1 =
 	// sequential). The generated sequence is bit-identical for any value.
 	Workers int
+	// Kernel selects the fsim gate-evaluation kernel (dense or event-driven;
+	// the zero value honors FSIM_KERNEL and defaults to event). The
+	// generated sequence is bit-identical for either kernel.
+	Kernel fsim.Kernel
 	// Span, when non-nil, is the parent telemetry span under which the
 	// generator records its phases ("atpg" with one child per phase).
 	Span *telemetry.Span
@@ -148,7 +152,7 @@ func Generate(c *circuit.Circuit, opts Options) *Result {
 	// Phase 1: one long random sequence, truncated after the last detection.
 	p1 := span.Child("random")
 	seq := sim.RandomSequence(rng, c.NumInputs(), opts.RandomLen)
-	out := s.Run(seq, faults, fsim.Options{Init: opts.Init, Workers: opts.Workers})
+	out := s.Run(seq, faults, fsim.Options{Init: opts.Init, Workers: opts.Workers, Kernel: opts.Kernel})
 	last := -1
 	for i := range faults {
 		if out.Detected[i] && out.DetTime[i] > last {
@@ -174,7 +178,7 @@ func Generate(c *circuit.Circuit, opts Options) *Result {
 	for len(remaining) > 0 && accepted < opts.MaxAccepts && budget > 0 {
 		// The remaining faults are undetected by seq, so this pass detects
 		// nothing and exists purely to capture the end-of-prefix states.
-		base := s.Run(seq, remaining, fsim.Options{Init: opts.Init, SaveStates: true, Workers: opts.Workers})
+		base := s.Run(seq, remaining, fsim.Options{Init: opts.Init, SaveStates: true, Workers: opts.Workers, Kernel: opts.Kernel})
 		improved := false
 		for ; budget > 0; budget-- {
 			cand := weightedRandom(rng, c.NumInputs(), opts.TrialLen)
@@ -185,6 +189,7 @@ func Generate(c *circuit.Circuit, opts Options) *Result {
 				InitialStates: base.FinalStates,
 				TimeOffset:    seq.Len(),
 				Workers:       opts.Workers,
+				Kernel:        opts.Kernel,
 			})
 			if o.NumDetected > 0 {
 				seq.Concat(cand)
@@ -227,7 +232,7 @@ func Generate(c *circuit.Circuit, opts Options) *Result {
 }
 
 func rerun(s *fsim.Simulator, seq *sim.Sequence, faults []fault.Fault, opts Options) *fsim.Outcome {
-	return s.Run(seq, faults, fsim.Options{Init: opts.Init, Workers: opts.Workers})
+	return s.Run(seq, faults, fsim.Options{Init: opts.Init, Workers: opts.Workers, Kernel: opts.Kernel})
 }
 
 func undetectedSubset(faults []fault.Fault, out *fsim.Outcome) []fault.Fault {

@@ -53,6 +53,10 @@ type Options struct {
 	// sequential). Results are bit-identical for any value; it only changes
 	// wall-clock time.
 	Workers int
+	// Kernel selects the fsim gate-evaluation kernel (dense or event-driven;
+	// the zero value honors FSIM_KERNEL and defaults to event). Like
+	// Workers, it leaves every result bit unchanged.
+	Kernel fsim.Kernel
 	// Span, when non-nil, is the parent telemetry span under which the
 	// procedure records its phases ("core" with "random-windows" and
 	// "selection" children). Later pipeline stages (obs, bist) also hang
@@ -189,7 +193,7 @@ func Run(c *circuit.Circuit, t *sim.Sequence, targets []fault.Fault, detTime []i
 					idx = append(idx, i)
 				}
 			}
-			out := simulator.Run(seq, fl, fsim.Options{Init: opts.Init, Workers: opts.Workers})
+			out := simulator.Run(seq, fl, fsim.Options{Init: opts.Init, Workers: opts.Workers, Kernel: opts.Kernel})
 			res.SimulatedSequences++
 			telemetry.Add(telemetry.CtrCandidates, 1)
 			for k := range fl {
@@ -234,6 +238,7 @@ func Run(c *circuit.Circuit, t *sim.Sequence, targets []fault.Fault, detTime []i
 			Init:                       opts.Init,
 			AbortAfterFirstGroupIfNone: opts.sampleFirst(),
 			Workers:                    opts.Workers,
+			Kernel:                     opts.Kernel,
 		})
 		res.SimulatedSequences++
 		telemetry.Add(telemetry.CtrCandidates, 1)

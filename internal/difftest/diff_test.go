@@ -1,6 +1,7 @@
 package difftest
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/fault"
@@ -78,6 +79,75 @@ func TestDifferentialSuiteCircuits(t *testing.T) {
 	}
 }
 
+// TestDifferentialDenseVsEvent is the acceptance gate of the event-driven
+// kernel: over ≥1000 random triples the event kernel must reproduce the
+// dense kernel bit for bit — Detected, DetTime, Lines (ObserveLines axis),
+// FinalStates (SaveStates axis) — sequentially and under Workers ∈ {1, 4},
+// including StopTime truncation, dense→event runs on one reused simulator,
+// back-to-back event warm starts, and split InitialStates/TimeOffset
+// continuation replays.
+func TestDifferentialDenseVsEvent(t *testing.T) {
+	triples := 1000
+	if testing.Short() {
+		triples = 150
+	}
+	var multiGroup, observed, saved, split, stopped int
+	for i := 0; i < triples; i++ {
+		seed := uint64(i) + 0xe7e47 // distinct circuits from the ref sweep
+		c := rcg.FromSeed(seed)
+		rng := randutil.New(seed ^ 0xd1f7e57).Split()
+		seq := RandomStimulus(rng, c.NumInputs())
+		faults := SampleFaults(rng, fault.CollapsedUniverse(c))
+		cfg := ConfigFromSeed(rng.Uint64(), seq.Len())
+		if len(faults) > fsim.GroupSize {
+			multiGroup++
+		}
+		if cfg.ObserveLines {
+			observed++
+		}
+		if cfg.SaveStates {
+			saved++
+		}
+		if cfg.SplitContinuation && cfg.StopTime == 0 && seq.Len() >= 2 {
+			split++
+		}
+		if cfg.StopTime > 0 {
+			stopped++
+		}
+		if err := CheckKernels(c, seq, faults, cfg); err != nil {
+			t.Fatalf("triple %d: %v\n%s", i, err, Describe(c, seq, faults, cfg))
+		}
+	}
+	if multiGroup == 0 || observed == 0 || saved == 0 || split == 0 || stopped == 0 {
+		t.Fatalf("sweep too narrow: multiGroup=%d observe=%d saveStates=%d split=%d stopTime=%d",
+			multiGroup, observed, saved, split, stopped)
+	}
+	t.Logf("%d triples: %d multi-group, %d with line observation, %d with state compare, %d split replays, %d truncated",
+		triples, multiGroup, observed, saved, split, stopped)
+}
+
+// TestDifferentialKernelsSuiteCircuits repeats the dense-vs-event check on
+// the real experiment circuits with the full collapsed fault universe and
+// every differential axis on at once.
+func TestDifferentialKernelsSuiteCircuits(t *testing.T) {
+	names := []string{"s27", "s298", "s344"}
+	if testing.Short() {
+		names = names[:2]
+	}
+	for _, name := range names {
+		c := iscas.MustLoad(name)
+		rng := randutil.New(0xeadbe ^ uint64(len(name)))
+		faults := fault.CollapsedUniverse(c)
+		for k, init := range []logic.V{logic.Zero, logic.X} {
+			seq := sim.RandomSequence(rng, c.NumInputs(), 24)
+			cfg := Config{Init: init, SaveStates: true, SplitContinuation: true, ObserveLines: true}
+			if err := CheckKernels(c, seq, faults, cfg); err != nil {
+				t.Fatalf("%s (init case %d): %v\n%s", name, k, err, Describe(c, seq, faults, cfg))
+			}
+		}
+	}
+}
+
 // TestDifferentialFaultFreeVsSim checks fsim's fault-free machine (slot 0 of
 // the OutputHook words) cycle for cycle against the scalar logic simulator.
 func TestDifferentialFaultFreeVsSim(t *testing.T) {
@@ -93,6 +163,22 @@ func TestDifferentialFaultFreeVsSim(t *testing.T) {
 		init := []logic.V{logic.Zero, logic.One, logic.X}[rng.Intn(3)]
 		if err := CheckFaultFree(c, seq, init); err != nil {
 			t.Fatalf("seed %d: %v\nsequence:\n%s\nnetlist:\n%s", seed, err, seq, benchText(c))
+		}
+	}
+}
+
+// TestDescribe smoke-checks the failure-reproduction dump: it must carry the
+// run configuration, the stimulus and a parseable netlist so a fuzz failure
+// is self-contained.
+func TestDescribe(t *testing.T) {
+	c := rcg.FromSeed(9)
+	rng := randutil.New(9)
+	seq := RandomStimulus(rng, c.NumInputs())
+	faults := SampleFaults(rng, fault.CollapsedUniverse(c))
+	got := Describe(c, seq, faults, Config{Workers: 2})
+	for _, want := range []string{"config:", "faults:", "sequence:", "netlist:", "INPUT("} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("Describe output lacks %q:\n%s", want, got)
 		}
 	}
 }

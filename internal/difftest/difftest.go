@@ -44,6 +44,10 @@ type Config struct {
 	// with SaveStates plus a continuation run via InitialStates/TimeOffset
 	// and demands that the merged outcome matches the unsplit oracle.
 	SplitContinuation bool
+	// ObserveLines turns on internal-line observability recording in the
+	// dense-vs-event kernel cross-check (CheckKernels); the ref oracle does
+	// not model Lines, so CheckTriple ignores it.
+	ObserveLines bool
 }
 
 // ConfigFromSeed derives a check configuration from one seed (the decoder
@@ -59,6 +63,9 @@ func ConfigFromSeed(seed uint64, seqLen int) Config {
 	if rng.Intn(3) == 0 && seqLen > 0 {
 		cfg.StopTime = 1 + rng.Intn(seqLen)
 	}
+	// Drawn last so the older corpus entries keep decoding to the same
+	// Init/Workers/SaveStates/SplitContinuation/StopTime they were saved for.
+	cfg.ObserveLines = rng.Bool()
 	return cfg
 }
 
@@ -152,33 +159,106 @@ func CompareOutcomes(c *circuit.Circuit, faults []fault.Fault, r *ref.Outcome, f
 
 // CheckTriple runs the full differential check for one (circuit, fault set,
 // sequence) triple under cfg and returns the first divergence found (nil if
-// the oracle, the sequential fsim run, the parallel fsim run and the split
-// continuation replay all agree).
+// the oracle, the sequential fsim runs of both kernels, the parallel fsim
+// run and the split continuation replay all agree). The kernels are pinned
+// explicitly — dense as the ref-locked baseline, event sequential against
+// both ref and dense, event for the parallel and continuation replays — so
+// the check is invariant to the FSIM_KERNEL environment override.
 func CheckTriple(c *circuit.Circuit, seq *sim.Sequence, faults []fault.Fault, cfg Config) error {
 	refOut := ref.Run(c, seq, faults, ref.Options{
 		Init: cfg.Init, StopTime: cfg.StopTime, SaveStates: cfg.SaveStates,
 	})
 	seqOut := fsim.Run(c, seq, faults, fsim.Options{
 		Init: cfg.Init, StopTime: cfg.StopTime, SaveStates: cfg.SaveStates,
+		Kernel: fsim.KernelDense,
 	})
 	if err := CompareOutcomes(c, faults, refOut, seqOut, cfg.SaveStates); err != nil {
-		return fmt.Errorf("ref vs fsim(sequential): %w", err)
+		return fmt.Errorf("ref vs fsim(sequential dense): %w", err)
+	}
+	evOut := fsim.Run(c, seq, faults, fsim.Options{
+		Init: cfg.Init, StopTime: cfg.StopTime, SaveStates: cfg.SaveStates,
+		Kernel: fsim.KernelEvent,
+	})
+	if err := sameFsimOutcome(seqOut, evOut); err != nil {
+		return fmt.Errorf("fsim dense vs event: %w", err)
+	}
+	if err := CompareOutcomes(c, faults, refOut, evOut, cfg.SaveStates); err != nil {
+		return fmt.Errorf("ref vs fsim(sequential event): %w", err)
 	}
 	if cfg.Workers > 1 {
 		parOut := fsim.Run(c, seq, faults, fsim.Options{
 			Init: cfg.Init, StopTime: cfg.StopTime, SaveStates: cfg.SaveStates,
-			Workers: cfg.Workers,
+			Workers: cfg.Workers, Kernel: fsim.KernelEvent,
 		})
 		if err := sameFsimOutcome(seqOut, parOut); err != nil {
-			return fmt.Errorf("fsim sequential vs Workers=%d: %w", cfg.Workers, err)
+			return fmt.Errorf("fsim sequential vs event Workers=%d: %w", cfg.Workers, err)
 		}
 		if err := CompareOutcomes(c, faults, refOut, parOut, cfg.SaveStates); err != nil {
-			return fmt.Errorf("ref vs fsim(Workers=%d): %w", cfg.Workers, err)
+			return fmt.Errorf("ref vs fsim(event Workers=%d): %w", cfg.Workers, err)
 		}
 	}
 	if cfg.SplitContinuation && cfg.StopTime == 0 && seq.Len() >= 2 && len(faults) > 0 {
 		if err := checkContinuation(c, seq, faults, cfg, refOut); err != nil {
 			return fmt.Errorf("split continuation: %w", err)
+		}
+	}
+	return nil
+}
+
+// CheckKernels is the dense-vs-event differential check for one triple: the
+// sequential dense outcome is the baseline, and the event kernel must
+// reproduce it bit for bit — Detected, DetTime, NumDetected, Lines (when
+// cfg.ObserveLines), FinalStates (when cfg.SaveStates) — sequentially, under
+// Workers ∈ {1, 4}, across a dense→event run on one reused simulator (the
+// warm-start invalidation path), across back-to-back event runs on that
+// simulator (the cross-run warm-start path), and through a split
+// InitialStates/TimeOffset continuation replay.
+func CheckKernels(c *circuit.Circuit, seq *sim.Sequence, faults []fault.Fault, cfg Config) error {
+	opts := func(k fsim.Kernel, workers int) fsim.Options {
+		return fsim.Options{
+			Init: cfg.Init, StopTime: cfg.StopTime, SaveStates: cfg.SaveStates,
+			ObserveLines: cfg.ObserveLines, Workers: workers, Kernel: k,
+		}
+	}
+	want := fsim.Run(c, seq, faults, opts(fsim.KernelDense, 1))
+	for _, workers := range []int{1, 4} {
+		got := fsim.Run(c, seq, faults, opts(fsim.KernelEvent, workers))
+		if err := sameFsimOutcome(want, got); err != nil {
+			return fmt.Errorf("dense vs event(Workers=%d): %w", workers, err)
+		}
+	}
+	if err := sameFsimOutcome(want, fsim.Run(c, seq, faults, opts(fsim.KernelDense, 4))); err != nil {
+		return fmt.Errorf("dense sequential vs dense(Workers=4): %w", err)
+	}
+	// One reused simulator: a dense run must invalidate the event kernel's
+	// value snapshot, and a further event run must warm-start off the
+	// previous event run's snapshot — both bit-identically.
+	s := fsim.New(c)
+	s.Run(seq, faults, opts(fsim.KernelDense, 1))
+	for round := 1; round <= 2; round++ {
+		got := s.Run(seq, faults, opts(fsim.KernelEvent, 1))
+		if err := sameFsimOutcome(want, got); err != nil {
+			return fmt.Errorf("reused simulator, event round %d: %w", round, err)
+		}
+	}
+	if cfg.SplitContinuation && cfg.StopTime == 0 && seq.Len() >= 2 && len(faults) > 0 {
+		split := seq.Len() / 2
+		pre := fsim.Run(c, seq.Slice(0, split), faults, fsim.Options{
+			Init: cfg.Init, SaveStates: true, Kernel: fsim.KernelEvent,
+		})
+		cont := fsim.Run(c, seq.Slice(split, seq.Len()), faults, fsim.Options{
+			Init: cfg.Init, InitialStates: pre.FinalStates, TimeOffset: split,
+			Kernel: fsim.KernelEvent,
+		})
+		for i := range faults {
+			det, detTime := pre.Detected[i], pre.DetTime[i]
+			if !det && cont.Detected[i] {
+				det, detTime = true, cont.DetTime[i]
+			}
+			if det != want.Detected[i] || (det && detTime != want.DetTime[i]) {
+				return fmt.Errorf("event split continuation, fault %d (%s): merged detected=%v t=%d, dense detected=%v t=%d",
+					i, faults[i].String(c), det, detTime, want.Detected[i], want.DetTime[i])
+			}
 		}
 	}
 	return nil
@@ -202,10 +282,11 @@ func checkContinuation(c *circuit.Circuit, seq *sim.Sequence, faults []fault.Fau
 	split := seq.Len() / 2
 	pre := fsim.Run(c, seq.Slice(0, split), faults, fsim.Options{
 		Init: cfg.Init, SaveStates: true, Workers: cfg.Workers,
+		Kernel: fsim.KernelEvent,
 	})
 	cont := fsim.Run(c, seq.Slice(split, seq.Len()), faults, fsim.Options{
 		Init: cfg.Init, InitialStates: pre.FinalStates, TimeOffset: split,
-		Workers: cfg.Workers,
+		Workers: cfg.Workers, Kernel: fsim.KernelEvent,
 	})
 	for i := range faults {
 		det, detTime := pre.Detected[i], pre.DetTime[i]

@@ -58,6 +58,11 @@ type Config struct {
 	// deterministic merge makes results bit-identical for any value, so
 	// Workers — like Telemetry — is not part of the memoization key.
 	Workers int
+	// Kernel selects the fsim gate-evaluation kernel threaded through every
+	// pipeline stage (dense or event-driven; the zero value honors
+	// FSIM_KERNEL and defaults to event). Both kernels are bit-identical, so
+	// Kernel — like Workers — is not part of the memoization key.
+	Kernel fsim.Kernel
 }
 
 func (c Config) withDefaults() Config {
@@ -181,10 +186,11 @@ func InitFor(name string) logic.V {
 func RunCircuit(name string, cfg Config) (*Run, error) {
 	cfg = presetFor(name, cfg).withDefaults()
 	k := key{name: name, cfg: cfg}
-	// Neither the recorder nor the worker count is part of the identity of a
-	// run: both leave every result bit unchanged.
+	// Neither the recorder, the worker count nor the kernel is part of the
+	// identity of a run: all three leave every result bit unchanged.
 	k.cfg.Telemetry = nil
 	k.cfg.Workers = 0
+	k.cfg.Kernel = 0
 	cacheMu.Lock()
 	e, ok := cache[k]
 	if !ok {
@@ -224,7 +230,7 @@ func RunPipeline(c *circuit.Circuit, init logic.V, cfg Config) (*Run, error) {
 		r.T = preset
 		faults := fault.CollapsedUniverse(c)
 		r.TotalFaults = len(faults)
-		out := fsim.Run(c, preset, faults, fsim.Options{Init: init, Workers: cfg.Workers})
+		out := fsim.Run(c, preset, faults, fsim.Options{Init: init, Workers: cfg.Workers, Kernel: cfg.Kernel})
 		for i := range faults {
 			if out.Detected[i] {
 				r.Targets = append(r.Targets, faults[i])
@@ -240,6 +246,7 @@ func RunPipeline(c *circuit.Circuit, init logic.V, cfg Config) (*Run, error) {
 			NoCompaction:         cfg.ATPGNoCompaction,
 			NoDeterministicPhase: cfg.ATPGNoPodem,
 			Workers:              cfg.Workers,
+			Kernel:               cfg.Kernel,
 			Span:                 pipe,
 		})
 		r.T = ar.Seq
@@ -261,6 +268,7 @@ func RunPipeline(c *circuit.Circuit, init logic.V, cfg Config) (*Run, error) {
 		NoForceFullLength: cfg.NoForceFullLength,
 		NoMatchOrdering:   cfg.NoMatchOrdering,
 		Workers:           cfg.Workers,
+		Kernel:            cfg.Kernel,
 		Span:              pipe,
 	})
 	if err != nil {

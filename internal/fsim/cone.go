@@ -1,0 +1,116 @@
+package fsim
+
+import "repro/internal/circuit"
+
+// Cone is the per-circuit static data of the event-driven kernel: topological
+// levels, a flattened fanout adjacency for event scheduling, and the
+// fault-site observability classification (which nodes can reach a primary
+// output, and which can reach flip-flop state, through any sequential path).
+//
+// A Cone is a pure function of the netlist: two independent builds over the
+// same circuit are deeply equal (the property test in event_test.go pins
+// this). It is immutable after BuildCone returns and is shared read-only by
+// every scratch simulator of a parallel worker pool; the per-fault-group
+// union cone (the fanout cone of the group's injected fault sites, which
+// bounds where faulty machines can ever diverge from the fault-free machine)
+// is materialized per group from this data by Simulator.markUnionCone, so
+// its cost is proportional to the cone actually reached rather than to a
+// precomputed quadratic table.
+type Cone struct {
+	// LevelOf[id] is the evaluation level of node id: 0 for Input/DFF
+	// sources, 1+max(fanin levels) for gates. Every fanout of a node has a
+	// strictly larger level, which is what makes the bucket queue of the
+	// event kernel level-monotone.
+	LevelOf []int32
+	// NumLevels is 1 + the largest level (the bucket count).
+	NumLevels int
+
+	// FanoutList[FanoutStart[id]:FanoutStart[id+1]] lists every fanout of
+	// node id (combinational gates and flip-flops).
+	FanoutStart []int32
+	FanoutList  []circuit.NodeID
+
+	// OrderPos[id] is the position of gate id in the circuit's topological
+	// evaluation order (-1 for Input/DFF nodes).
+	OrderPos []int32
+	// POIndex[id] is the index of node id in Circuit.Outputs (-1 when the
+	// node is not a primary output).
+	POIndex []int32
+
+	// Detectable[id] reports whether a fault effect originating at node id
+	// can reach a primary output through any path, including paths that are
+	// latched through flip-flops into later time frames. A fault at an
+	// undetectable site can never be detected, can never disturb a primary
+	// output word, and (unless it feeds state or internal lines are being
+	// observed) need not be injected at all.
+	Detectable []bool
+	// FeedsState[id] reports whether node id can reach the D input of some
+	// flip-flop through any path (again crossing flip-flop boundaries): a
+	// fault effect originating at id can corrupt the saved machine state.
+	FeedsState []bool
+}
+
+// BuildCone computes the static event-kernel data for c.
+func BuildCone(c *circuit.Circuit) *Cone {
+	n := len(c.Nodes)
+	cn := &Cone{
+		LevelOf:     make([]int32, n),
+		FanoutStart: make([]int32, n+1),
+		OrderPos:    make([]int32, n),
+		POIndex:     make([]int32, n),
+		Detectable:  make([]bool, n),
+		FeedsState:  make([]bool, n),
+	}
+	for i := range c.Nodes {
+		cn.LevelOf[i] = c.Nodes[i].Level
+		if int(cn.LevelOf[i])+1 > cn.NumLevels {
+			cn.NumLevels = int(cn.LevelOf[i]) + 1
+		}
+		cn.OrderPos[i] = -1
+		cn.POIndex[i] = -1
+	}
+	for k, id := range c.Order {
+		cn.OrderPos[id] = int32(k)
+	}
+	for k, id := range c.Outputs {
+		cn.POIndex[id] = int32(k)
+	}
+	for i := range c.Nodes {
+		cn.FanoutStart[i+1] = cn.FanoutStart[i] + int32(len(c.Nodes[i].Fanouts))
+	}
+	cn.FanoutList = make([]circuit.NodeID, 0, cn.FanoutStart[n])
+	for i := range c.Nodes {
+		cn.FanoutList = append(cn.FanoutList, c.Nodes[i].Fanouts...)
+	}
+
+	// Reverse reachability over fanin edges. Walking a flip-flop's fanin
+	// crosses the sequential frame boundary (DFF.Fanins[0] is the D input),
+	// so both closures are over the full sequential graph; visited marking
+	// makes the feedback cycles terminate.
+	reverseMark := func(mark []bool, seeds []circuit.NodeID) {
+		stack := append([]circuit.NodeID(nil), seeds...)
+		for _, s := range seeds {
+			mark[s] = true
+		}
+		for len(stack) > 0 {
+			id := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, f := range c.Nodes[id].Fanins {
+				if !mark[f] {
+					mark[f] = true
+					stack = append(stack, f)
+				}
+			}
+		}
+	}
+	reverseMark(cn.Detectable, c.Outputs)
+	// State is corrupted by a fault effect only when it reaches a D input
+	// (the DFF nodes themselves are outputs of state, not state): seed with
+	// the D-input drivers, not with the flip-flops.
+	dIns := make([]circuit.NodeID, 0, len(c.DFFs))
+	for _, id := range c.DFFs {
+		dIns = append(dIns, c.Nodes[id].Fanins[0])
+	}
+	reverseMark(cn.FeedsState, dIns)
+	return cn
+}

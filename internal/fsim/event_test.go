@@ -1,0 +1,169 @@
+package fsim
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/circuit"
+	"repro/internal/fault"
+	"repro/internal/iscas"
+	"repro/internal/logic"
+	"repro/internal/randutil"
+	"repro/internal/rcg"
+	"repro/internal/sim"
+)
+
+func TestKernelParseAndString(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Kernel
+		ok   bool
+	}{
+		{"", KernelAuto, true},
+		{"auto", KernelAuto, true},
+		{"event", KernelEvent, true},
+		{"EVENT", KernelEvent, true},
+		{"dense", KernelDense, true},
+		{"Dense", KernelDense, true},
+		{"fast", KernelAuto, false},
+	}
+	for _, tc := range cases {
+		k, err := ParseKernel(tc.in)
+		if (err == nil) != tc.ok || k != tc.want {
+			t.Errorf("ParseKernel(%q) = %v, %v; want %v, ok=%v", tc.in, k, err, tc.want, tc.ok)
+		}
+	}
+	for _, k := range []Kernel{KernelAuto, KernelEvent, KernelDense} {
+		if r, err := ParseKernel(k.String()); err != nil || r != k {
+			t.Errorf("ParseKernel(%v.String()) = %v, %v; want round trip", k, r, err)
+		}
+	}
+}
+
+func TestKernelResolve(t *testing.T) {
+	t.Setenv("FSIM_KERNEL", "")
+	if got := KernelAuto.Resolve(); got != KernelEvent {
+		t.Errorf("Resolve with unset env = %v, want event", got)
+	}
+	t.Setenv("FSIM_KERNEL", "dense")
+	if got := KernelAuto.Resolve(); got != KernelDense {
+		t.Errorf("Resolve with FSIM_KERNEL=dense = %v, want dense", got)
+	}
+	if got := KernelEvent.Resolve(); got != KernelEvent {
+		t.Errorf("explicit kernel must beat the environment: got %v", got)
+	}
+	t.Setenv("FSIM_KERNEL", "nonsense")
+	if got := KernelAuto.Resolve(); got != KernelEvent {
+		t.Errorf("Resolve with unparsable env = %v, want event default", got)
+	}
+}
+
+// TestBuildConePure is the purity property the shared-cone design rests on:
+// building the static cone data twice for the same circuit yields deeply
+// equal results, and running simulations (sequential and parallel, both
+// kernels) leaves the simulator's shared cone untouched.
+func TestBuildConePure(t *testing.T) {
+	for _, seed := range []uint64{3, 77, 512} {
+		c := rcg.FromSeed(seed)
+		a, b := BuildCone(c), BuildCone(c)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("rcg seed %d: two cone builds differ", seed)
+		}
+	}
+	c := iscas.MustLoad("s298")
+	s := New(c)
+	snapshot := BuildCone(c)
+	if !reflect.DeepEqual(s.cone, snapshot) {
+		t.Fatalf("simulator cone differs from a fresh build")
+	}
+	rng := randutil.New(0xc0e)
+	seq := sim.RandomSequence(rng, c.NumInputs(), 20)
+	faults := fault.CollapsedUniverse(c)
+	for _, k := range []Kernel{KernelEvent, KernelDense} {
+		for _, workers := range []int{1, 4} {
+			s.Run(seq, faults, Options{Init: logic.Zero, Workers: workers, Kernel: k,
+				SaveStates: true, ObserveLines: true})
+		}
+	}
+	if !reflect.DeepEqual(s.cone, snapshot) {
+		t.Fatalf("running simulations mutated the shared cone")
+	}
+}
+
+// TestEventKernelWorkerPool drives the event kernel through the worker pool
+// with every outcome surface on, re-checking determinism against the dense
+// sequential baseline. Its real value is under `make race`: the workers
+// share one Cone read-only while each owns its worklists, and this is the
+// test that proves it to the race detector.
+func TestEventKernelWorkerPool(t *testing.T) {
+	rng := randutil.New(0xeb1)
+	for _, seed := range []uint64{5, 901, 4242} {
+		c := rcg.FromSeed(seed)
+		seq := sim.RandomSequence(rng, c.NumInputs(), 16)
+		faults := fault.CollapsedUniverse(c)
+		opts := Options{Init: logic.X, SaveStates: true, ObserveLines: true}
+		opts.Kernel = KernelDense
+		opts.Workers = 1
+		want := Run(c, seq, faults, opts)
+		s := New(c)
+		opts.Kernel = KernelEvent
+		for _, workers := range []int{1, 4, 8} {
+			opts.Workers = workers
+			// Two runs per pool size: the second exercises the reused,
+			// warm per-worker event states.
+			for pass := 0; pass < 2; pass++ {
+				got := s.Run(seq, faults, opts)
+				outcomesEqual(t, "event pool", want, got)
+			}
+		}
+	}
+}
+
+// TestSkipFault pins the static-observability skip rule on a hand-built
+// circuit with a dangling cone: u and w can never reach the primary output
+// z, but u feeds the flip-flop's next state while w feeds nothing at all.
+func TestSkipFault(t *testing.T) {
+	c, err := bench.Parse("skipnet", strings.NewReader(`
+INPUT(a)
+INPUT(b)
+OUTPUT(z)
+z = AND(a, b)
+u = OR(a, b)
+d1 = DFF(u)
+w = NOT(d1)
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(c)
+	id := func(name string) circuit.NodeID {
+		n, ok := c.Lookup(name)
+		if !ok {
+			t.Fatalf("no node %q", name)
+		}
+		return n
+	}
+	stem := func(name string) fault.Fault { return fault.Fault{Node: id(name), Pin: -1} }
+	cases := []struct {
+		label string
+		f     fault.Fault
+		opts  Options
+		want  bool
+	}{
+		{"detectable site never skips", stem("z"), Options{}, false},
+		{"observation forces injection", stem("w"), Options{ObserveLines: true}, false},
+		{"dangling cone skips", stem("w"), Options{}, true},
+		{"dangling cone skips despite state saving", stem("w"), Options{SaveStates: true}, true},
+		{"state-feeding site skips without state saving", stem("u"), Options{}, true},
+		{"state-feeding site injects when states are saved", stem("u"), Options{SaveStates: true}, false},
+		{"DFF pin fault injects when states are saved", fault.Fault{Node: id("d1"), Pin: 0}, Options{SaveStates: true}, false},
+		{"DFF pin fault skips without state saving", fault.Fault{Node: id("d1"), Pin: 0}, Options{}, true},
+	}
+	for _, tc := range cases {
+		if got := s.skipFault(tc.f, tc.opts); got != tc.want {
+			t.Errorf("%s: skipFault = %v, want %v", tc.label, got, tc.want)
+		}
+	}
+}

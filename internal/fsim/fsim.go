@@ -88,6 +88,12 @@ type Options struct {
 	// AbortAfterFirstGroupIfNone always simulates group 0 alone, before any
 	// fan-out, to preserve the Section 4.2 effort reduction.
 	Workers int
+	// Kernel selects the gate-evaluation strategy. The zero value
+	// (KernelAuto) honors the FSIM_KERNEL environment variable and defaults
+	// to the event-driven kernel; both kernels produce bit-identical
+	// outcomes (the differential suite in internal/difftest enforces this),
+	// so the choice only affects speed and telemetry.
+	Kernel Kernel
 }
 
 // Outcome reports the result of a run over a fault list.
@@ -169,6 +175,32 @@ type Simulator struct {
 	pinNodes  []circuit.NodeID // nodes with pin faults (for cheap clearing)
 	pinForces [][]pinForce
 	poScratch []logic.W
+
+	// cone is the immutable static data of the event kernel, built once in
+	// New and shared (like the flattened netlist) by every pooled worker.
+	cone *Cone
+	// ev is the event kernel's mutable per-simulator state (worklists,
+	// cone marks, value-snapshot bookkeeping), allocated on first use.
+	ev *eventState
+	// event-kernel injection bookkeeping: the stem-fault nodes of the
+	// current group (for targeted clearing), the gate fault sites (worklist
+	// seeds) and every injected site (union-cone roots). stemFlag[id] != 0
+	// mirrors "stemMask0[id]|stemMask1[id] != 0" as a single byte so the
+	// event kernel's gate loops touch one dense byte array instead of two
+	// word arrays for the (overwhelmingly common) uninjected nodes; it is
+	// maintained only by buildInjectionEvent and read only by event-kernel
+	// code, so the dense kernel's own injection build cannot desynchronize
+	// it (an event run after a dense run starts from ready=false and
+	// rebuilds the flags from scratch).
+	stemNodes []circuit.NodeID
+	gateSites []circuit.NodeID
+	coneSites []circuit.NodeID
+	stemFlag  []uint8
+	// siteGatePos is the sorted, deduplicated list of evaluation-order
+	// positions of the injected gates (gateSites). Sweep cycles evaluate
+	// the plain segments between those positions with no injection checks
+	// at all — only the ≤63 boundary gates take the general path.
+	siteGatePos []int32
 }
 
 type pinForce struct {
@@ -190,6 +222,7 @@ func New(c *circuit.Circuit) *Simulator {
 		s.faninStart[k+1] = s.faninStart[k] + int32(len(n.Fanins))
 		s.faninList = append(s.faninList, n.Fanins...)
 	}
+	s.cone = BuildCone(c)
 	return s
 }
 
@@ -201,6 +234,7 @@ func newScratch(c *circuit.Circuit) *Simulator {
 		next:      make([]logic.W, len(c.DFFs)),
 		stemMask0: make([]uint64, len(c.Nodes)),
 		stemMask1: make([]uint64, len(c.Nodes)),
+		stemFlag:  make([]uint8, len(c.Nodes)),
 		pinIdx:    make([]int32, len(c.Nodes)),
 	}
 	for i := range s.pinIdx {
@@ -219,6 +253,7 @@ func (s *Simulator) workerSims(n int) []*Simulator {
 		w.gateType = s.gateType
 		w.faninStart = s.faninStart
 		w.faninList = s.faninList
+		w.cone = s.cone
 		s.pool = append(s.pool, w)
 	}
 	sims := make([]*Simulator, 0, n)
@@ -237,6 +272,7 @@ func Run(c *circuit.Circuit, seq *sim.Sequence, faults []fault.Fault, opts Optio
 // worker pool; each group writes a disjoint slice region of the outcome, so
 // the result is bit-identical to the sequential run regardless of scheduling.
 func (s *Simulator) Run(seq *sim.Sequence, faults []fault.Fault, opts Options) *Outcome {
+	opts.Kernel = opts.Kernel.Resolve() // resolve env/default exactly once
 	numGroups := (len(faults) + GroupSize - 1) / GroupSize
 	if opts.InitialStates != nil {
 		// A silently mis-shaped continuation state would corrupt the run
@@ -342,10 +378,13 @@ func (s *Simulator) Run(seq *sim.Sequence, faults []fault.Fault, opts Options) *
 }
 
 // counterBatch locally accumulates the hot-path telemetry counters of one
-// worker (or one sequential run) and flushes them with four atomic adds.
-// Totals stay exact under any worker count; only the add frequency changes.
+// worker (or one sequential run) and flushes them with a handful of atomic
+// adds. Totals stay exact under any worker count; only the add frequency
+// changes. The gateEvals of the event kernel count gates actually evaluated
+// (skipped holds the rest), so gateEvals+skipped equals the dense total.
 type counterBatch struct {
 	gateEvals, vectors, passes, dropped int64
+	events, skipped, cones              int64
 }
 
 func (b *counterBatch) flush() {
@@ -356,6 +395,9 @@ func (b *counterBatch) flush() {
 	telemetry.Add(telemetry.CtrVectors, b.vectors)
 	telemetry.Add(telemetry.CtrGroupPasses, b.passes)
 	telemetry.Add(telemetry.CtrFaultsDropped, b.dropped)
+	telemetry.Add(telemetry.CtrEventsScheduled, b.events)
+	telemetry.Add(telemetry.CtrGatesSkipped, b.skipped)
+	telemetry.Add(telemetry.CtrConeHits, b.cones)
 	*b = counterBatch{}
 }
 
@@ -364,7 +406,21 @@ func (b *counterBatch) flush() {
 // group's disjoint regions of out (Detected/DetTime/Lines for faults[lo:hi],
 // FinalStates[lo/GroupSize]) and returning the number of detections. Never
 // touching shared scalars is what makes the parallel fan-out race-free.
+// Dispatches on the (already resolved) Options.Kernel.
 func (s *Simulator) runGroup(seq *sim.Sequence, faults []fault.Fault, lo, hi, stop int, opts Options, out *Outcome, tb *counterBatch) int {
+	if opts.Kernel == KernelEvent {
+		return s.runGroupEvent(seq, faults, lo, hi, stop, opts, out, tb)
+	}
+	return s.runGroupDense(seq, faults, lo, hi, stop, opts, out, tb)
+}
+
+// runGroupDense is the original kernel: one full pass over the levelized
+// netlist per time unit. It is the trusted baseline the event kernel is
+// differentially locked against and stays byte-for-byte unoptimized.
+func (s *Simulator) runGroupDense(seq *sim.Sequence, faults []fault.Fault, lo, hi, stop int, opts Options, out *Outcome, tb *counterBatch) int {
+	// The dense kernel rebuilds injection without site tracking, so any
+	// event-kernel value snapshot on this scratch simulator is now stale.
+	s.invalidateEvent()
 	c := s.c
 	// Build injection tables. Stem masks and pin indices are cleared only at
 	// the nodes touched by the previous group.

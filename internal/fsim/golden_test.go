@@ -1,0 +1,140 @@
+package fsim_test
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/iscas"
+	"repro/internal/logic"
+	"repro/internal/randutil"
+	"repro/internal/sim"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden files under testdata/golden")
+
+// goldenRecord is the pinned observable outcome of one fault-simulation
+// workload: total fault coverage plus the full detection-time histogram.
+// Any kernel change that shifts a single fault's detection or its detection
+// time shows up here.
+type goldenRecord struct {
+	Circuit     string         `json:"circuit"`
+	Sequence    string         `json:"sequence"`
+	Faults      int            `json:"faults"`
+	Detected    int            `json:"detected"`
+	DetTimeHist map[string]int `json:"det_time_histogram"`
+}
+
+// goldenCases are the pinned workloads:
+//
+//   - s27-table1: the real s27 under the paper's Table 1 deterministic test
+//     sequence (iscas.S27TestSequence) — the histogram is the per-time-unit
+//     detection profile of that table.
+//   - s27-weighted: s27 under the weighted sequence T_G of the paper's
+//     Section 2 example assignment (01, 0, 100, 1) — the weighted-sequence
+//     coverage the Figure 1 generator is built to deliver.
+//   - s298-random / s344-random: suite circuits under fixed random binary
+//     stimulus, full collapsed fault universe.
+func goldenCases(t *testing.T) []struct {
+	name    string
+	circuit string
+	seqDesc string
+	seq     *sim.Sequence
+	init    logic.V
+} {
+	t.Helper()
+	table1, err := sim.ParseSequence(iscas.S27TestSequence)
+	if err != nil {
+		t.Fatalf("parse S27TestSequence: %v", err)
+	}
+	weighted := core.Assignment{Subs: []string{"01", "0", "100", "1"}}.GenSequence(64)
+	rand298 := sim.RandomSequence(randutil.New(298), 3, 128)
+	rand344 := sim.RandomSequence(randutil.New(344), 9, 128)
+	return []struct {
+		name    string
+		circuit string
+		seqDesc string
+		seq     *sim.Sequence
+		init    logic.V
+	}{
+		{"s27-table1", "s27", "paper Table 1 deterministic sequence", table1, logic.X},
+		{"s27-weighted", "s27", "T_G of assignment (01, 0, 100, 1), l_G=64", weighted, logic.X},
+		{"s298-random", "s298", "random binary, seed 298, length 128", rand298, logic.Zero},
+		{"s344-random", "s344", "random binary, seed 344, length 128", rand344, logic.Zero},
+	}
+}
+
+// TestGoldenOutcomes locks the simulator's observable outcomes against the
+// committed golden files, under both kernels and both worker counts. Run
+// with -update to rewrite the files after an intentional behaviour change.
+func TestGoldenOutcomes(t *testing.T) {
+	for _, tc := range goldenCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			c := iscas.MustLoad(tc.circuit)
+			faults := fault.CollapsedUniverse(c)
+
+			// The golden record is computed by the dense kernel; every
+			// other configuration must reproduce it exactly.
+			ref := fsim.Run(c, tc.seq, faults, fsim.Options{
+				Init: tc.init, Workers: 1, Kernel: fsim.KernelDense,
+			})
+			for _, kernel := range []fsim.Kernel{fsim.KernelDense, fsim.KernelEvent} {
+				for _, workers := range []int{1, 4} {
+					out := fsim.Run(c, tc.seq, faults, fsim.Options{
+						Init: tc.init, Workers: workers, Kernel: kernel,
+					})
+					if !reflect.DeepEqual(out.Detected, ref.Detected) ||
+						!reflect.DeepEqual(out.DetTime, ref.DetTime) {
+						t.Fatalf("kernel=%v workers=%d: outcome differs from dense sequential run", kernel, workers)
+					}
+				}
+			}
+
+			got := goldenRecord{
+				Circuit:     tc.circuit,
+				Sequence:    tc.seqDesc,
+				Faults:      len(faults),
+				Detected:    ref.NumDetected,
+				DetTimeHist: map[string]int{},
+			}
+			for i := range faults {
+				if ref.Detected[i] {
+					got.DetTimeHist[fmt.Sprintf("%d", ref.DetTime[i])]++
+				}
+			}
+
+			path := filepath.Join("testdata", "golden", tc.name+".json")
+			if *updateGolden {
+				data, err := json.MarshalIndent(got, "", "  ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			var want goldenRecord
+			if err := json.Unmarshal(data, &want); err != nil {
+				t.Fatalf("corrupt golden file %s: %v", path, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("outcome drifted from %s:\n got: %+v\nwant: %+v", path, got, want)
+			}
+		})
+	}
+}

@@ -38,9 +38,15 @@ func outcomesEqual(t *testing.T, label string, want, got *Outcome) {
 
 // TestParallelMatchesSequential is the determinism guarantee: for randomized
 // circuits and fault lists, a parallel run must be byte-identical to the
-// sequential run — including the telemetry counter deltas — for every worker
-// count, covering Workers=1 and workers > groups. Run under -race it also
-// proves the fan-out is data-race free.
+// sequential run for every worker count, covering Workers=1 and workers >
+// groups, under both kernels. Run under -race it also proves the fan-out is
+// data-race free.
+//
+// Counter deltas are compared exactly under the dense kernel. The event
+// kernel's evaluated/skipped split (and scheduling tallies) legitimately
+// depends on which scratch simulator ran which group — a warm value snapshot
+// seeds a worklist, a cold one forces a full first sweep — so there only the
+// scheduling-invariant counters and the evals+skipped total are compared.
 func TestParallelMatchesSequential(t *testing.T) {
 	profiles := []iscas.Profile{
 		{Name: "p1", Inputs: 4, Outputs: 3, DFFs: 4, Gates: 40, Seed: 11, Synthetic: true},
@@ -65,23 +71,44 @@ func TestParallelMatchesSequential(t *testing.T) {
 		faults := fault.CollapsedUniverse(c)
 		seq := sim.RandomSequence(randutil.New(p.Seed+100), c.NumInputs(), 24)
 		groups := (len(faults) + GroupSize - 1) / GroupSize
-		for _, v := range optVariants {
-			seqSim := New(c)
-			before := telemetry.Counters()
-			want := seqSim.Run(seq, faults, v.opts)
-			seqDelta := telemetry.Counters().Sub(before)
-			for _, workers := range []int{1, 2, 3, groups + 5} {
+		for _, kernel := range []Kernel{KernelDense, KernelEvent} {
+			for _, v := range optVariants {
 				opts := v.opts
-				opts.Workers = workers
-				parSim := New(c)
-				before = telemetry.Counters()
-				got := parSim.Run(seq, faults, opts)
-				parDelta := telemetry.Counters().Sub(before)
-				label := p.Name + "/" + v.name
-				outcomesEqual(t, label, want, got)
-				if seqDelta != parDelta {
-					t.Fatalf("%s workers=%d: counter deltas %v vs sequential %v",
-						label, workers, parDelta.Map(), seqDelta.Map())
+				opts.Kernel = kernel
+				seqSim := New(c)
+				before := telemetry.Counters()
+				want := seqSim.Run(seq, faults, opts)
+				seqDelta := telemetry.Counters().Sub(before)
+				for _, workers := range []int{1, 2, 3, groups + 5} {
+					opts := opts
+					opts.Workers = workers
+					parSim := New(c)
+					before = telemetry.Counters()
+					got := parSim.Run(seq, faults, opts)
+					parDelta := telemetry.Counters().Sub(before)
+					label := p.Name + "/" + kernel.String() + "/" + v.name
+					outcomesEqual(t, label, want, got)
+					if kernel == KernelDense {
+						if seqDelta != parDelta {
+							t.Fatalf("%s workers=%d: counter deltas %v vs sequential %v",
+								label, workers, parDelta.Map(), seqDelta.Map())
+						}
+						continue
+					}
+					for _, id := range []telemetry.CounterID{
+						telemetry.CtrVectors, telemetry.CtrGroupPasses, telemetry.CtrFaultsDropped,
+					} {
+						if seqDelta.Get(id) != parDelta.Get(id) {
+							t.Fatalf("%s workers=%d: %s delta %d vs sequential %d",
+								label, workers, id.Name(), parDelta.Get(id), seqDelta.Get(id))
+						}
+					}
+					seqTotal := seqDelta.Get(telemetry.CtrGateEvals) + seqDelta.Get(telemetry.CtrGatesSkipped)
+					parTotal := parDelta.Get(telemetry.CtrGateEvals) + parDelta.Get(telemetry.CtrGatesSkipped)
+					if seqTotal != parTotal {
+						t.Fatalf("%s workers=%d: evals+skipped %d vs sequential %d",
+							label, workers, parTotal, seqTotal)
+					}
 				}
 			}
 		}

@@ -12,7 +12,10 @@ import (
 )
 
 // TestHotPathCounters checks that a simulation run advances the process-wide
-// telemetry counters by the expected amounts.
+// telemetry counters by the expected amounts, for both kernels. The
+// kernel-independent accounting invariant is gate_evals + gates_skipped ==
+// vectors × gates: the dense kernel evaluates everything (skipped 0), the
+// event kernel splits the same total between evaluated and skipped.
 func TestHotPathCounters(t *testing.T) {
 	c, err := iscas.Load("s27")
 	if err != nil {
@@ -21,25 +24,44 @@ func TestHotPathCounters(t *testing.T) {
 	faults := fault.CollapsedUniverse(c)
 	seq := sim.RandomSequence(randutil.New(7), c.NumInputs(), 64)
 
-	before := telemetry.Counters()
-	out := Run(c, seq, faults, Options{Init: logic.X, SaveStates: true})
-	d := telemetry.Counters().Sub(before)
+	for _, kernel := range []Kernel{KernelDense, KernelEvent} {
+		before := telemetry.Counters()
+		out := Run(c, seq, faults, Options{Init: logic.X, SaveStates: true, Kernel: kernel})
+		d := telemetry.Counters().Sub(before)
 
-	groups := (len(faults) + GroupSize - 1) / GroupSize
-	if got := d.Get(telemetry.CtrGroupPasses); got != int64(groups) {
-		t.Errorf("group passes delta = %d, want %d", got, groups)
-	}
-	// SaveStates disables the early exit, so every group simulates the full
-	// sequence and the vector count is exact.
-	wantVecs := int64(groups * seq.Len())
-	if got := d.Get(telemetry.CtrVectors); got != wantVecs {
-		t.Errorf("vectors delta = %d, want %d", got, wantVecs)
-	}
-	if got := d.Get(telemetry.CtrGateEvals); got != wantVecs*int64(c.NumGates()) {
-		t.Errorf("gate evals delta = %d, want %d", got, wantVecs*int64(c.NumGates()))
-	}
-	if got := d.Get(telemetry.CtrFaultsDropped); got != int64(out.NumDetected) {
-		t.Errorf("faults dropped delta = %d, want %d detected", got, out.NumDetected)
+		groups := (len(faults) + GroupSize - 1) / GroupSize
+		if got := d.Get(telemetry.CtrGroupPasses); got != int64(groups) {
+			t.Errorf("%v: group passes delta = %d, want %d", kernel, got, groups)
+		}
+		// SaveStates disables the early exit, so every group simulates the
+		// full sequence and the vector count is exact.
+		wantVecs := int64(groups * seq.Len())
+		if got := d.Get(telemetry.CtrVectors); got != wantVecs {
+			t.Errorf("%v: vectors delta = %d, want %d", kernel, got, wantVecs)
+		}
+		evals := d.Get(telemetry.CtrGateEvals)
+		skipped := d.Get(telemetry.CtrGatesSkipped)
+		if evals+skipped != wantVecs*int64(c.NumGates()) {
+			t.Errorf("%v: gate evals %d + skipped %d = %d, want %d",
+				kernel, evals, skipped, evals+skipped, wantVecs*int64(c.NumGates()))
+		}
+		if got := d.Get(telemetry.CtrFaultsDropped); got != int64(out.NumDetected) {
+			t.Errorf("%v: faults dropped delta = %d, want %d detected", kernel, got, out.NumDetected)
+		}
+		switch kernel {
+		case KernelDense:
+			for _, id := range []telemetry.CounterID{
+				telemetry.CtrEventsScheduled, telemetry.CtrGatesSkipped, telemetry.CtrConeHits,
+			} {
+				if got := d.Get(id); got != 0 {
+					t.Errorf("dense: %s delta = %d, want 0", id.Name(), got)
+				}
+			}
+		case KernelEvent:
+			if sched, hits := d.Get(telemetry.CtrEventsScheduled), d.Get(telemetry.CtrConeHits); hits > sched {
+				t.Errorf("event: cone hits %d exceed events scheduled %d", hits, sched)
+			}
+		}
 	}
 }
 

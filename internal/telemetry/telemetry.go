@@ -34,18 +34,32 @@ const (
 	CtrCandidates
 	// CtrBacktracks counts PODEM decision backtracks.
 	CtrBacktracks
+	// CtrEventsScheduled counts gate re-evaluation events enqueued by the
+	// event-driven kernel (one per gate per time unit it was scheduled).
+	CtrEventsScheduled
+	// CtrGatesSkipped counts gate evaluations the event-driven kernel
+	// avoided relative to a dense pass: gate_evals + gates_skipped over an
+	// event-kernel run equals what CtrGateEvals alone would report dense.
+	CtrGatesSkipped
+	// CtrConeHits counts scheduled events that landed inside the current
+	// fault group's union fanout cone (events outside the cone propagate
+	// fault-free value changes only).
+	CtrConeHits
 
 	// NumCounters is the number of defined counters.
 	NumCounters
 )
 
 var counterNames = [NumCounters]string{
-	CtrGateEvals:     "fsim.gate_evals",
-	CtrVectors:       "fsim.vectors",
-	CtrGroupPasses:   "fsim.group_passes",
-	CtrFaultsDropped: "fsim.faults_dropped",
-	CtrCandidates:    "core.candidates_scored",
-	CtrBacktracks:    "podem.backtracks",
+	CtrGateEvals:       "fsim.gate_evals",
+	CtrVectors:         "fsim.vectors",
+	CtrGroupPasses:     "fsim.group_passes",
+	CtrFaultsDropped:   "fsim.faults_dropped",
+	CtrCandidates:      "core.candidates_scored",
+	CtrBacktracks:      "podem.backtracks",
+	CtrEventsScheduled: "fsim.events_scheduled",
+	CtrGatesSkipped:    "fsim.gates_skipped",
+	CtrConeHits:        "fsim.cone_hits",
 }
 
 // Name returns the exported name of a counter.

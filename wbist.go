@@ -85,6 +85,23 @@ type Generator = wgen.Generator
 // assignments.
 type HardwareStats = core.HardwareStats
 
+// Kernel selects the fault simulator's gate-evaluation strategy; both
+// kernels produce bit-identical results (the differential suite enforces
+// this), so the choice only affects speed. The zero value honors the
+// FSIM_KERNEL environment variable and defaults to the event-driven kernel.
+type Kernel = fsim.Kernel
+
+// The fault-simulation kernels.
+const (
+	KernelAuto  = fsim.KernelAuto
+	KernelEvent = fsim.KernelEvent
+	KernelDense = fsim.KernelDense
+)
+
+// ParseKernel maps a CLI or environment spelling ("auto", "event", "dense")
+// to a Kernel.
+func ParseKernel(s string) (Kernel, error) { return fsim.ParseKernel(s) }
+
 // Value re-exports the ternary logic values.
 type Value = logic.V
 

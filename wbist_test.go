@@ -145,3 +145,23 @@ func TestSynthesizeFSMPublic(t *testing.T) {
 		t.Fatalf("fsm wrong: %+v", fsm)
 	}
 }
+
+func TestParseKernelPublic(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Kernel
+	}{
+		{"", KernelAuto},
+		{"auto", KernelAuto},
+		{"event", KernelEvent},
+		{"dense", KernelDense},
+	} {
+		k, err := ParseKernel(tc.in)
+		if err != nil || k != tc.want {
+			t.Errorf("ParseKernel(%q) = %v, %v; want %v", tc.in, k, err, tc.want)
+		}
+	}
+	if _, err := ParseKernel("warp"); err == nil {
+		t.Error("ParseKernel(warp) should fail")
+	}
+}
