@@ -8,7 +8,9 @@
 # variant (one small circuit, parallel workers); `make bench-parallel` writes
 # the BENCH_parallel.json comparison entry against the committed sequential
 # baseline; `make bench-kernel` refreshes the BENCH_event.json dense-vs-event
-# kernel comparison.
+# kernel comparison; `make bench-check` measures a fresh smoke benchmark and
+# gates its deterministic work counters against all three committed BENCH
+# baselines (wall-clock is advisory; see scripts/bench_compare.go).
 
 GO ?= go
 
@@ -17,7 +19,7 @@ GO ?= go
 FUZZ_TARGETS = FuzzRefVsFsim FuzzEventVsDense FuzzFaultFreeVsSim FuzzWgenVsExpansion FuzzBenchRoundTrip
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet fuzz-smoke cover cover-gate bench-json bench-smoke bench-parallel bench-kernel
+.PHONY: all build test race vet fuzz-smoke cover cover-gate bench-json bench-smoke bench-parallel bench-kernel bench-check
 
 all: build test race vet
 
@@ -57,3 +59,10 @@ bench-parallel: build
 
 bench-kernel: build
 	$(GO) run ./cmd/experiments kernelbench
+
+bench-check: build
+	$(GO) run ./cmd/experiments -circuits s298 -bench-json /tmp/wbist_bench_fresh.json bench
+	$(GO) run ./scripts/bench_compare.go -mode pipeline -baseline BENCH_pipeline.json -fresh /tmp/wbist_bench_fresh.json
+	$(GO) run ./scripts/bench_compare.go -mode pipeline -baseline BENCH_parallel.json -fresh /tmp/wbist_bench_fresh.json
+	$(GO) run ./cmd/experiments -circuits s27,s298 -kernel-json /tmp/wbist_kernel_fresh.json kernelbench
+	$(GO) run ./scripts/bench_compare.go -mode kernel -baseline BENCH_event.json -fresh /tmp/wbist_kernel_fresh.json

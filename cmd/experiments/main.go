@@ -16,8 +16,10 @@
 // section times the dense and event kernels head to head on the suite
 // circuits under the pipeline's dominant workload (weighted-sequence
 // re-simulation) and writes the comparison to -kernel-json (the
-// BENCH_event.json baseline). -progress streams per-phase telemetry to
-// stderr and -pprof serves pprof/expvar while the run lasts.
+// BENCH_event.json baseline; `make bench-check` diffs fresh smokes of both
+// against the committed baselines). -progress streams per-phase telemetry to
+// stderr, -metrics exports completed spans as JSON lines, and -pprof serves
+// pprof, expvar and the Prometheus /metrics exposition while the run lasts.
 package main
 
 import (
@@ -50,7 +52,8 @@ var (
 	flagKernelJSON = flag.String("kernel-json", "BENCH_event.json", "output file of the kernelbench section")
 	flagCircuits   = flag.String("circuits", "", "comma-separated circuit filter for the bench section (empty = all Table 6 circuits)")
 	flagProgress   = flag.Bool("progress", false, "print per-phase telemetry progress to stderr")
-	flagPprof      = flag.String("pprof", "", "serve net/http/pprof and expvar on this address")
+	flagMetrics    = flag.String("metrics", "", "write telemetry span events to this file as JSON lines")
+	flagPprof      = flag.String("pprof", "", "serve net/http/pprof, expvar and Prometheus /metrics on this address")
 )
 
 func main() {
@@ -61,12 +64,17 @@ func main() {
 			"table6", "obs", "figure1", "baselines", "random", "selftest"}
 	}
 	if *flagPprof != "" {
-		addr, err := wbist.ServeDebug(*flagPprof)
+		srv, err := wbist.ServeDebug(*flagPprof)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "experiments: pprof/expvar on http://%s/debug/\n", addr)
+		fmt.Fprintf(os.Stderr, "experiments: pprof/expvar on http://%s/debug/, Prometheus on /metrics\n", srv.Addr())
+		go func() {
+			if err := <-srv.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: debug server:", err)
+			}
+		}()
 	}
 	kernel, err := wbist.ParseKernel(*flagKernel)
 	if err != nil {
@@ -74,8 +82,27 @@ func main() {
 		os.Exit(2)
 	}
 	cfg := wbist.Config{LG: *flagLG, Seed: *flagSeed, Workers: *flagWorkers, Kernel: kernel}
+	closeMetrics := func() error { return nil }
+	if *flagMetrics != "" {
+		f, err := os.Create(*flagMetrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		sink := wbist.NewJSONLSink(f)
+		cfg.Telemetry = wbist.NewRecorder(sink)
+		closeMetrics = func() error {
+			if err := sink.Close(); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
+	}
 	if *flagProgress {
-		cfg.Telemetry = wbist.NewRecorder()
+		if cfg.Telemetry == nil {
+			cfg.Telemetry = wbist.NewRecorder()
+		}
 		cfg.Telemetry.SetProgress(os.Stderr)
 	}
 	for _, s := range sections {
@@ -111,10 +138,15 @@ func main() {
 			err = fmt.Errorf("unknown section %q", s)
 		}
 		if err != nil {
+			closeMetrics()
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
 		fmt.Println()
+	}
+	if err := closeMetrics(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: metrics:", err)
+		os.Exit(1)
 	}
 }
 

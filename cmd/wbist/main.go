@@ -10,10 +10,17 @@
 //	wbist verilog <circuit>         emit the circuit as structural Verilog
 //	wbist verilog-gen <circuit>     emit the synthesized generator as Verilog
 //	wbist selftest <circuit>        signature-based BIST session report
-//	wbist report <circuit>          testability report (detection times, SCOAP)
+//	wbist report [flags] <circuit>  run report: coverage curve, detection
+//	                                attribution, phase costs, testability
 //	wbist faults <circuit>          fault dictionary (fault, detection time)
 //	wbist testbench <circuit>       self-checking Verilog testbench for T
 //	wbist metrics <circuit>         per-phase pipeline cost table
+//
+// The report subcommand takes its own flags after the subcommand name:
+// -json (machine-readable report), -trace <file> (also write the detection
+// trace as JSONL, schema wbist-trace/v1), -from-trace <file> (ingest a trace
+// instead of running the pipeline) and -from-metrics <file> (fold a -metrics
+// JSONL file into the report).
 //
 // Common flags (before the subcommand): -lg, -seed, -random, -misr, -workers
 // (fault-simulation worker goroutines, default GOMAXPROCS; results are
@@ -21,10 +28,12 @@
 // gate-evaluation kernel; "auto" honors FSIM_KERNEL and defaults to the
 // event-driven kernel, results are bit-identical either way), plus the
 // observability flags -metrics <file> (JSON-lines span export), -progress
-// (per-phase progress on stderr) and -pprof <addr> (pprof/expvar server).
+// (per-phase progress on stderr) and -pprof <addr> (pprof/expvar server,
+// with Prometheus text exposition under /metrics).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -44,7 +53,7 @@ var (
 	flagKernel   = flag.String("kernel", "auto", "fault-simulation kernel: auto, event or dense (results are identical for any value)")
 	flagMetrics  = flag.String("metrics", "", "write telemetry span events to this file as JSON lines")
 	flagProgress = flag.Bool("progress", false, "print per-phase progress to stderr")
-	flagPprof    = flag.String("pprof", "", "serve net/http/pprof and expvar on this address")
+	flagPprof    = flag.String("pprof", "", "serve net/http/pprof, expvar and Prometheus /metrics on this address")
 )
 
 func usage() {
@@ -63,12 +72,17 @@ func main() {
 		usage()
 	}
 	if *flagPprof != "" {
-		addr, err := wbist.ServeDebug(*flagPprof)
+		srv, err := wbist.ServeDebug(*flagPprof)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "wbist:", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "wbist: pprof/expvar on http://%s/debug/\n", addr)
+		fmt.Fprintf(os.Stderr, "wbist: pprof/expvar on http://%s/debug/, Prometheus on /metrics\n", srv.Addr())
+		go func() {
+			if err := <-srv.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "wbist: debug server:", err)
+			}
+		}()
 	}
 	kernel, err := wbist.ParseKernel(*flagKernel)
 	if err != nil {
@@ -319,14 +333,88 @@ func cmdSelftest(args []string, cfg wbist.Config) error {
 }
 
 func cmdReport(args []string, cfg wbist.Config) error {
-	name, err := one(args)
-	if err != nil {
+	fs := flag.NewFlagSet("report", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit the run report as JSON instead of text")
+	traceOut := fs.String("trace", "", "also write the detection trace (JSONL, wbist-trace/v1) to this file")
+	fromTrace := fs.String("from-trace", "", "build the report from this detection-trace file instead of running the pipeline")
+	fromMetrics := fs.String("from-metrics", "", "fold this JSONL metrics file (the -metrics format) into the report")
+	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	r, err := wbist.RunCircuit(name, cfg)
-	if err != nil {
-		return err
+
+	var phases []wbist.PhaseStats
+	if *fromMetrics != "" {
+		f, err := os.Open(*fromMetrics)
+		if err != nil {
+			return err
+		}
+		phases, err = wbist.ReadMetrics(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
 	}
+
+	var rt *wbist.RunTrace
+	var r *wbist.Run
+	if *fromTrace != "" {
+		f, err := os.Open(*fromTrace)
+		if err != nil {
+			return err
+		}
+		rt, err = wbist.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		name, err := one(fs.Args())
+		if err != nil {
+			return err
+		}
+		r, err = wbist.RunCircuit(name, cfg)
+		if err != nil {
+			return err
+		}
+		rt, err = wbist.TraceRun(r)
+		if err != nil {
+			return err
+		}
+		if phases == nil {
+			phases = r.Metrics
+		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		err = wbist.WriteTrace(f, rt)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+
+	rep := wbist.BuildReport(rt, phases)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	wbist.RenderReport(os.Stdout, rep)
+	if r == nil {
+		return nil // trace-only ingestion: no run to derive testability from
+	}
+	fmt.Println()
+	return renderTestability(r)
+}
+
+// renderTestability prints the circuit-centric sections of the report that
+// need the live run (detection-time histogram, SCOAP summary).
+func renderTestability(r *wbist.Run) error {
 	st := r.Circuit.Stats()
 	fmt.Println(st)
 	fmt.Printf("collapsed faults: %d; detected by T: %d (%.1f%%); |T| = %d\n",

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/circuit"
 	"repro/internal/fault"
@@ -84,6 +85,12 @@ type Trace struct {
 	Assignment Assignment
 	// NewlyDetected is the number of target faults it newly detected.
 	NewlyDetected int
+	// NewFaults lists the indices (into Result.TargetFaults) of the target
+	// faults this assignment newly detected, ascending. NewDetTimes[k] is the
+	// detection time of NewFaults[k] under the assignment's own sequence —
+	// the per-assignment provenance behind the Table 6 accounting.
+	NewFaults   []int
+	NewDetTimes []int
 }
 
 // Result is the outcome of the selection procedure.
@@ -209,8 +216,9 @@ func Run(c *circuit.Circuit, t *sim.Sequence, targets []fault.Fault, detTime []i
 
 	// simulate runs the assignment's sequence against the remaining faults
 	// (target fault first, then a sample, then the rest) and drops
-	// detections. It returns the number of newly detected faults.
-	simulate := func(a Assignment, lg, targetIdx int) int {
+	// detections. It returns the newly detected faults (ascending target
+	// indices) with their detection times under the candidate sequence.
+	simulate := func(a Assignment, lg, targetIdx int) (newFaults, newTimes []int) {
 		order := make([]int, 0, remaining)
 		order = append(order, targetIdx)
 		var rest []int
@@ -242,18 +250,21 @@ func Run(c *circuit.Circuit, t *sim.Sequence, targets []fault.Fault, detTime []i
 		})
 		res.SimulatedSequences++
 		telemetry.Add(telemetry.CtrCandidates, 1)
-		n := 0
 		for k := range fl {
 			if out.Detected[k] {
 				i := order[k]
 				if undetected[i] {
 					undetected[i] = false
 					remaining--
-					n++
+					newFaults = append(newFaults, i)
+					newTimes = append(newTimes, out.DetTime[k])
 				}
 			}
 		}
-		return n
+		// The scan above follows the shuffled simulation order; reports want
+		// ascending target indices.
+		sort.Sort(&faultTimePairs{newFaults, newTimes})
+		return newFaults, newTimes
 	}
 
 	// maxDetTime returns the index of an undetected fault with the largest
@@ -343,11 +354,12 @@ func Run(c *circuit.Circuit, t *sim.Sequence, targets []fault.Fault, detTime []i
 				if lg < u+1 {
 					lg = u + 1
 				}
-				n := simulate(a, lg, tIdx)
-				if n > 0 {
+				nf, nt := simulate(a, lg, tIdx)
+				if len(nf) > 0 {
 					res.Omega = append(res.Omega, a)
 					res.Traces = append(res.Traces, Trace{
-						U: u, LS: ls, J: j, Assignment: a, NewlyDetected: n,
+						U: u, LS: ls, J: j, Assignment: a, NewlyDetected: len(nf),
+						NewFaults: nf, NewDetTimes: nt,
 					})
 				}
 			}
@@ -355,6 +367,17 @@ func Run(c *circuit.Circuit, t *sim.Sequence, targets []fault.Fault, detTime []i
 	}
 	ssp.End()
 	return res, nil
+}
+
+// faultTimePairs sorts parallel (fault index, detection time) slices by
+// ascending fault index.
+type faultTimePairs struct{ faults, times []int }
+
+func (p *faultTimePairs) Len() int           { return len(p.faults) }
+func (p *faultTimePairs) Less(i, j int) bool { return p.faults[i] < p.faults[j] }
+func (p *faultTimePairs) Swap(i, j int) {
+	p.faults[i], p.faults[j] = p.faults[j], p.faults[i]
+	p.times[i], p.times[j] = p.times[j], p.times[i]
 }
 
 // unsortedAi is the ablation variant of BuildAi: perfect matches in weight-set

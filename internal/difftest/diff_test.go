@@ -148,6 +148,52 @@ func TestDifferentialKernelsSuiteCircuits(t *testing.T) {
 	}
 }
 
+// TestDifferentialTraceDeterminism is the acceptance gate of the
+// detection-provenance trace: its canonical byte stream must be identical
+// for Workers ∈ {1, 4, 8} and both kernels — on the real experiment circuits
+// with the full collapsed fault universe, and across 100 random (circuit,
+// fault set, sequence) triples.
+func TestDifferentialTraceDeterminism(t *testing.T) {
+	for _, name := range []string{"s27", "s298", "s344"} {
+		c := iscas.MustLoad(name)
+		rng := randutil.New(0x7eace ^ uint64(len(name)))
+		faults := fault.CollapsedUniverse(c)
+		for k, init := range []logic.V{logic.Zero, logic.X} {
+			seq := sim.RandomSequence(rng, c.NumInputs(), 24)
+			cfg := Config{Init: init}
+			if err := CheckTrace(c, seq, faults, cfg); err != nil {
+				t.Fatalf("%s (init case %d): %v\n%s", name, k, err, Describe(c, seq, faults, cfg))
+			}
+		}
+	}
+	triples := 100
+	if testing.Short() {
+		triples = 25
+	}
+	var multiGroup, stopped int
+	for i := 0; i < triples; i++ {
+		seed := uint64(i) + 0x7eace5 // distinct circuits from the other sweeps
+		c := rcg.FromSeed(seed)
+		rng := randutil.New(seed ^ 0xd1f7e57).Split()
+		seq := RandomStimulus(rng, c.NumInputs())
+		faults := SampleFaults(rng, fault.CollapsedUniverse(c))
+		cfg := ConfigFromSeed(rng.Uint64(), seq.Len())
+		if len(faults) > fsim.GroupSize {
+			multiGroup++
+		}
+		if cfg.StopTime > 0 {
+			stopped++
+		}
+		if err := CheckTrace(c, seq, faults, cfg); err != nil {
+			t.Fatalf("triple %d: %v\n%s", i, err, Describe(c, seq, faults, cfg))
+		}
+	}
+	if multiGroup == 0 || stopped == 0 {
+		t.Fatalf("sweep too narrow: multiGroup=%d stopTime=%d", multiGroup, stopped)
+	}
+	t.Logf("%d triples: %d multi-group, %d truncated", triples, multiGroup, stopped)
+}
+
 // TestDifferentialFaultFreeVsSim checks fsim's fault-free machine (slot 0 of
 // the OutputHook words) cycle for cycle against the scalar logic simulator.
 func TestDifferentialFaultFreeVsSim(t *testing.T) {

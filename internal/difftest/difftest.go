@@ -14,6 +14,7 @@
 package difftest
 
 import (
+	"bytes"
 	"fmt"
 	"reflect"
 	"strings"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/fsim"
 	"repro/internal/logic"
+	"repro/internal/obsv"
 	"repro/internal/randutil"
 	"repro/internal/ref"
 	"repro/internal/sim"
@@ -258,6 +260,43 @@ func CheckKernels(c *circuit.Circuit, seq *sim.Sequence, faults []fault.Fault, c
 			if det != want.Detected[i] || (det && detTime != want.DetTime[i]) {
 				return fmt.Errorf("event split continuation, fault %d (%s): merged detected=%v t=%d, dense detected=%v t=%d",
 					i, faults[i].String(c), det, detTime, want.Detected[i], want.DetTime[i])
+			}
+		}
+	}
+	return nil
+}
+
+// CheckTrace demands the detection-provenance trace (fsim.Options.Trace) be
+// byte-identical in its canonical form across both kernels and Workers ∈
+// {1, 4, 8}, and consistent with the (equally bit-identical) outcome: one
+// event per detected fault. This is the determinism contract of
+// obsv.Trace.CanonicalBytes — worker and kernel are annotations only.
+func CheckTrace(c *circuit.Circuit, seq *sim.Sequence, faults []fault.Fault, cfg Config) error {
+	run := func(k fsim.Kernel, workers int) (*obsv.Trace, *fsim.Outcome) {
+		tr := obsv.NewTrace()
+		out := fsim.Run(c, seq, faults, fsim.Options{
+			Init: cfg.Init, StopTime: cfg.StopTime,
+			Workers: workers, Kernel: k, Trace: tr,
+		})
+		return tr, out
+	}
+	refTrace, refOut := run(fsim.KernelDense, 1)
+	want := refTrace.CanonicalBytes()
+	if n := refTrace.NumDetections(); n != refOut.NumDetected {
+		return fmt.Errorf("trace has %d detection events, outcome detected %d", n, refOut.NumDetected)
+	}
+	for _, k := range []fsim.Kernel{fsim.KernelDense, fsim.KernelEvent} {
+		for _, workers := range []int{1, 4, 8} {
+			if k == fsim.KernelDense && workers == 1 {
+				continue // the reference run above
+			}
+			tr, out := run(k, workers)
+			if err := sameFsimOutcome(refOut, out); err != nil {
+				return fmt.Errorf("%v(Workers=%d): %w", k, workers, err)
+			}
+			if got := tr.CanonicalBytes(); !bytes.Equal(want, got) {
+				return fmt.Errorf("%v(Workers=%d): canonical trace differs from dense(Workers=1):\nA:\n%s\nB:\n%s",
+					k, workers, want, got)
 			}
 		}
 	}

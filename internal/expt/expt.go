@@ -282,6 +282,7 @@ func RunPipeline(c *circuit.Circuit, init logic.V, cfg Config) (*Run, error) {
 	r.Stats = core.Accounting(r.Compacted)
 	sp.End()
 	pipe.End()
+	telemetry.SetGauge("fault_coverage", cr.Coverage())
 	r.Metrics = cfg.Telemetry.Phases()
 	return r, nil
 }

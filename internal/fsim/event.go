@@ -91,9 +91,12 @@ type eventState struct {
 	coneStack []circuit.NodeID
 	// poList is the subset of Circuit.Outputs inside the union cone — the
 	// only outputs a faulty machine of this group can ever disturb, and
-	// therefore the only ones the detection scan must visit.
+	// therefore the only ones the detection scan must visit. poIdx holds
+	// each entry's index in Circuit.Outputs, so traced detections report
+	// the same primary-output index as the dense kernel's full scan.
 	poMask Bitset
 	poList []circuit.NodeID
+	poIdx  []int32
 
 	// changed collects the nodes whose value changed this time unit (only
 	// maintained when Options.ObserveLines needs the per-node diff scan).
@@ -288,9 +291,11 @@ func (s *Simulator) markUnionCone() {
 	}
 	es.coneStack = stack[:0]
 	es.poList = es.poList[:0]
+	es.poIdx = es.poIdx[:0]
 	for k, id := range c.Outputs {
 		if es.poMask.Get(k) {
 			es.poList = append(es.poList, id)
+			es.poIdx = append(es.poIdx, int32(k))
 		}
 	}
 }
@@ -456,6 +461,11 @@ func (s *Simulator) runGroupEvent(seq *sim.Sequence, faults []fault.Fault, lo, h
 	s.buildInjectionEvent(faults, lo, hi, opts)
 	s.markUnionCone()
 	es.scheduled, es.coneHits = 0, 0
+	tg := opts.Trace.Group(lo / GroupSize)
+	tg.SetWorker(s.worker)
+	if tg != nil && lo == 0 {
+		s.actValid = false // activity baseline starts with this pass
+	}
 
 	units := 0
 	det := 0
@@ -565,9 +575,14 @@ func (s *Simulator) runGroupEvent(seq *sim.Sequence, faults []fault.Fault, lo, h
 			// evaluations it avoids.
 			es.sweep = len(s.gateID) >= sweepMinGates && cyc*2 > len(s.gateID)
 		}
+		if tg != nil && lo == 0 {
+			s.traceActivity(tg)
+		}
 		// Detection, restricted to the primary outputs inside the union
 		// fault cone (no other output word can carry a divergent slot).
-		for _, id := range es.poList {
+		// Any output a fault can disturb is in the cone, so the lowest
+		// diffing index here is the lowest in the dense kernel's full scan.
+		for pi, id := range es.poList {
 			d := vals[id].DiffMask() & activeMask
 			for ; d != 0; d &= d - 1 {
 				slot := trailingZeros(d)
@@ -576,6 +591,9 @@ func (s *Simulator) runGroupEvent(seq *sim.Sequence, faults []fault.Fault, lo, h
 				out.DetTime[fi] = u + opts.TimeOffset
 				det++
 				activeMask &^= 1 << uint(slot)
+				if tg != nil {
+					tg.Detect(fi, u+opts.TimeOffset, int(es.poIdx[pi]))
+				}
 			}
 		}
 		if opts.OutputHook != nil {
@@ -646,6 +664,7 @@ func (s *Simulator) runGroupEvent(seq *sim.Sequence, faults []fault.Fault, lo, h
 		// snapshot still reflects the previous group.
 		es.ready = false
 	}
+	tg.SetVectors(units)
 	tb.gateEvals += evals
 	tb.vectors += int64(units)
 	tb.passes++

@@ -25,6 +25,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/fault"
 	"repro/internal/logic"
+	"repro/internal/obsv"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 )
@@ -94,6 +95,15 @@ type Options struct {
 	// outcomes (the differential suite in internal/difftest enforces this),
 	// so the choice only affects speed and telemetry.
 	Kernel Kernel
+	// Trace, if non-nil, receives the run's detection-provenance stream
+	// (see internal/obsv): one event per first detection carrying the fault
+	// index, time unit, detecting primary output, fault group, worker and
+	// kernel, plus group 0's per-cycle fault-free activity curve and each
+	// group's simulated vector count. Events are buffered per group and
+	// merged in group order, so the canonical stream is bit-identical for
+	// any Workers count and either kernel. A nil Trace costs one nil check
+	// per group pass and one per detection — nothing on the per-gate paths.
+	Trace *obsv.Trace
 }
 
 // Outcome reports the result of a run over a fault list.
@@ -201,6 +211,17 @@ type Simulator struct {
 	// the plain segments between those positions with no injection checks
 	// at all — only the ≤63 boundary gates take the general path.
 	siteGatePos []int32
+
+	// worker is this simulator's index in a parallel run's worker pool
+	// (0 for the receiver). It is a trace annotation only and never part
+	// of any canonical output.
+	worker int
+	// Activity-trace scratch (see traceActivity): the packed fault-free
+	// slot-0 bits of every node as of the previous traced cycle. actValid
+	// is reset at the start of each traced group-0 pass so the first cycle
+	// only establishes the baseline.
+	actZ, actO []uint64
+	actValid   bool
 }
 
 type pinForce struct {
@@ -249,6 +270,7 @@ func newScratch(c *circuit.Circuit) *Simulator {
 func (s *Simulator) workerSims(n int) []*Simulator {
 	for len(s.pool) < n-1 {
 		w := newScratch(s.c)
+		w.worker = len(s.pool) + 1
 		w.gateID = s.gateID
 		w.gateType = s.gateType
 		w.faninStart = s.faninStart
@@ -274,6 +296,7 @@ func Run(c *circuit.Circuit, seq *sim.Sequence, faults []fault.Fault, opts Optio
 func (s *Simulator) Run(seq *sim.Sequence, faults []fault.Fault, opts Options) *Outcome {
 	opts.Kernel = opts.Kernel.Resolve() // resolve env/default exactly once
 	numGroups := (len(faults) + GroupSize - 1) / GroupSize
+	opts.Trace.Begin(numGroups, opts.Kernel.String())
 	if opts.InitialStates != nil {
 		// A silently mis-shaped continuation state would corrupt the run
 		// (short copies leave stale flip-flop words in place); fail loudly.
@@ -422,6 +445,11 @@ func (s *Simulator) runGroupDense(seq *sim.Sequence, faults []fault.Fault, lo, h
 	// event-kernel value snapshot on this scratch simulator is now stale.
 	s.invalidateEvent()
 	c := s.c
+	tg := opts.Trace.Group(lo / GroupSize)
+	tg.SetWorker(s.worker)
+	if tg != nil && lo == 0 {
+		s.actValid = false // activity baseline starts with this pass
+	}
 	// Build injection tables. Stem masks and pin indices are cleared only at
 	// the nodes touched by the previous group.
 	for i := range s.stemMask0 {
@@ -513,8 +541,11 @@ func (s *Simulator) runGroupDense(seq *sim.Sequence, faults []fault.Fault, lo, h
 			}
 			vals[id] = s.inject(id, w)
 		}
+		if tg != nil && lo == 0 {
+			s.traceActivity(tg)
+		}
 		// Detection at primary outputs.
-		for _, id := range c.Outputs {
+		for poi, id := range c.Outputs {
 			d := vals[id].DiffMask() & activeMask
 			for ; d != 0; d &= d - 1 {
 				slot := trailingZeros(d)
@@ -523,6 +554,9 @@ func (s *Simulator) runGroupDense(seq *sim.Sequence, faults []fault.Fault, lo, h
 				out.DetTime[fi] = u + opts.TimeOffset
 				det++
 				activeMask &^= 1 << uint(slot)
+				if tg != nil {
+					tg.Detect(fi, u+opts.TimeOffset, poi)
+				}
 			}
 		}
 		if opts.OutputHook != nil {
@@ -565,6 +599,7 @@ func (s *Simulator) runGroupDense(seq *sim.Sequence, faults []fault.Fault, lo, h
 		copy(saved, state)
 		out.FinalStates[lo/GroupSize] = saved
 	}
+	tg.SetVectors(units)
 	tb.gateEvals += int64(units) * int64(len(s.gateID))
 	tb.vectors += int64(units)
 	tb.passes++

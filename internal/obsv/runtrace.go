@@ -1,0 +1,162 @@
+package obsv
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// TraceSchema identifies the JSONL detection-trace format.
+const TraceSchema = "wbist-trace/v1"
+
+// RunTrace is the detection-provenance record of one whole pipeline run: the
+// deterministic sequence T simulated against the collapsed fault universe,
+// followed by every compacted weight assignment's window simulated (in
+// schedule order) against the targets still undetected — the provenance
+// behind the paper's Table 6 accounting.
+type RunTrace struct {
+	// Schema is TraceSchema.
+	Schema string `json:"schema"`
+	// Circuit names the circuit under test.
+	Circuit string `json:"circuit"`
+	// Kernel names the fsim kernel that produced the trace.
+	Kernel string `json:"kernel"`
+	// TotalFaults is the size of the collapsed fault universe (the fault
+	// space of the T segment).
+	TotalFaults int `json:"total_faults"`
+	// Targets is the number of faults detected by T (the fault space of the
+	// assignment segments: their event fault indices are target indices).
+	Targets int `json:"targets"`
+	// TLen is the length of the deterministic sequence T.
+	TLen int `json:"t_len"`
+	// Segments holds the T segment (Assignment == -1) followed by one
+	// segment per compacted weight assignment, in schedule order.
+	Segments []Segment `json:"-"`
+}
+
+// Segment is the trace of one simulated window.
+type Segment struct {
+	// Assignment is -1 for the deterministic sequence T, otherwise the index
+	// of the weight assignment in the compacted schedule Ω.
+	Assignment int `json:"assignment"`
+	// Vectors is the window's sequence length.
+	Vectors int `json:"vectors"`
+	// Faults is the number of faults the window was simulated against (for
+	// assignment segments: the targets still undetected when it ran).
+	Faults int `json:"faults"`
+	// Detected is the number of those faults the window detected.
+	Detected int `json:"detected"`
+	// Events is the window's detection stream in canonical (group-major)
+	// order. In the T segment fault indices index the collapsed universe; in
+	// assignment segments they index the run's target list.
+	Events []Event `json:"-"`
+	// Activity is the window's per-cycle fault-free switching profile
+	// (see Trace.Activity).
+	Activity []int `json:"activity,omitempty"`
+	// GroupVectors is the per-fault-group simulated vector count
+	// (see Trace.GroupVectors).
+	GroupVectors []int `json:"group_vectors,omitempty"`
+}
+
+// traceLine is the tagged union of the JSONL representation: one header
+// line, then per segment one segment line followed by its event lines.
+type traceLine struct {
+	Type string `json:"type"`
+	*RunTrace
+	Segment *Segment `json:"segment,omitempty"`
+	Event   *Event   `json:"event,omitempty"`
+}
+
+// WriteTrace serialises a run trace as JSON lines: a header record, then for
+// each segment a segment record followed by its event records. Events carry
+// their segment's assignment stamp, so the stream is self-describing.
+func WriteTrace(w io.Writer, rt *RunTrace) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	hdr := *rt
+	hdr.Schema = TraceSchema
+	if err := enc.Encode(traceLine{Type: "header", RunTrace: &hdr}); err != nil {
+		return err
+	}
+	for i := range rt.Segments {
+		seg := rt.Segments[i]
+		if err := enc.Encode(traceLine{Type: "segment", Segment: &seg}); err != nil {
+			return err
+		}
+		for j := range seg.Events {
+			if err := enc.Encode(traceLine{Type: "event", Event: &seg.Events[j]}); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a JSONL run trace written by WriteTrace. Event lines are
+// attached to the most recent segment line.
+func ReadTrace(r io.Reader) (*RunTrace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	var rt *RunTrace
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var ln traceLine
+		if err := json.Unmarshal(sc.Bytes(), &ln); err != nil {
+			return nil, fmt.Errorf("obsv: trace line %d: %w", lineNo, err)
+		}
+		switch ln.Type {
+		case "header":
+			if ln.RunTrace == nil || ln.Schema != TraceSchema {
+				return nil, fmt.Errorf("obsv: trace line %d: unsupported schema %q (want %s)",
+					lineNo, headerSchema(ln.RunTrace), TraceSchema)
+			}
+			rt = ln.RunTrace
+		case "segment":
+			if rt == nil {
+				return nil, fmt.Errorf("obsv: trace line %d: segment before header", lineNo)
+			}
+			rt.Segments = append(rt.Segments, *ln.Segment)
+		case "event":
+			if rt == nil || len(rt.Segments) == 0 {
+				return nil, fmt.Errorf("obsv: trace line %d: event before segment", lineNo)
+			}
+			seg := &rt.Segments[len(rt.Segments)-1]
+			seg.Events = append(seg.Events, *ln.Event)
+		default:
+			return nil, fmt.Errorf("obsv: trace line %d: unknown record type %q", lineNo, ln.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if rt == nil {
+		return nil, fmt.Errorf("obsv: trace has no header record")
+	}
+	return rt, nil
+}
+
+func headerSchema(rt *RunTrace) string {
+	if rt == nil {
+		return ""
+	}
+	return rt.Schema
+}
+
+// Segment folds a simulator trace into a trace segment. vectors is the
+// window's sequence length; detected the number of faults it detected.
+func (t *Trace) Segment(vectors, faults, detected int) Segment {
+	return Segment{
+		Assignment:   t.Assignment,
+		Vectors:      vectors,
+		Faults:       faults,
+		Detected:     detected,
+		Events:       t.Events(),
+		Activity:     t.Activity(),
+		GroupVectors: t.GroupVectors(),
+	}
+}

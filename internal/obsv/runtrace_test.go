@@ -1,0 +1,92 @@
+package obsv
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestWriteReadTraceRoundTrip(t *testing.T) {
+	rt := hockeyTrace()
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, rt); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	// header + (segment + events) per segment.
+	wantLines := 1 + 2 + len(rt.Segments[0].Events) + len(rt.Segments[1].Events)
+	if len(lines) != wantLines {
+		t.Errorf("trace has %d lines, want %d", len(lines), wantLines)
+	}
+	if !strings.Contains(lines[0], `"type":"header"`) || !strings.Contains(lines[0], TraceSchema) {
+		t.Errorf("header line = %q", lines[0])
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if !reflect.DeepEqual(rt, back) {
+		t.Errorf("round trip drifts:\nA: %+v\nB: %+v", rt, back)
+	}
+}
+
+func TestReadTraceSkipsBlankLines(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, hockeyTrace()); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	padded := strings.ReplaceAll(buf.String(), "\n", "\n\n")
+	if _, err := ReadTrace(strings.NewReader(padded)); err != nil {
+		t.Errorf("ReadTrace with blank lines: %v", err)
+	}
+}
+
+func TestReadTraceErrors(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"empty", "", "no header"},
+		{"bad JSON", "{oops\n", "line 1"},
+		{"wrong schema", `{"type":"header","schema":"wbist-trace/v999"}` + "\n", "unsupported schema"},
+		{"segment first", `{"type":"segment","segment":{"assignment":-1}}` + "\n", "segment before header"},
+		{"event first", `{"type":"header","schema":"wbist-trace/v1"}` + "\n" +
+			`{"type":"event","event":{"fault":0}}` + "\n", "event before segment"},
+		{"unknown type", `{"type":"header","schema":"wbist-trace/v1"}` + "\n" +
+			`{"type":"mystery"}` + "\n", "unknown record type"},
+	}
+	for _, tc := range cases {
+		_, err := ReadTrace(strings.NewReader(tc.in))
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestTraceSegmentFold checks Trace.Segment carrying a simulator trace's
+// streams into a Segment with the trace's assignment stamp.
+func TestTraceSegmentFold(t *testing.T) {
+	tr := NewTrace()
+	tr.Assignment = 3
+	tr.Begin(2, "dense")
+	g0 := tr.Group(0)
+	g0.Detect(1, 5, 0)
+	g0.Activity(4)
+	g0.SetVectors(10)
+	g1 := tr.Group(1)
+	g1.Detect(70, 2, 1)
+	g1.SetVectors(6)
+	seg := tr.Segment(10, 80, 2)
+	if seg.Assignment != 3 || seg.Vectors != 10 || seg.Faults != 80 || seg.Detected != 2 {
+		t.Errorf("segment header = %+v", seg)
+	}
+	if len(seg.Events) != 2 || seg.Events[0].Fault != 1 || seg.Events[1].Fault != 70 {
+		t.Errorf("segment events = %+v", seg.Events)
+	}
+	if seg.Events[0].Assignment != 3 || seg.Events[1].Assignment != 3 {
+		t.Errorf("assignment stamp missing: %+v", seg.Events)
+	}
+	if !reflect.DeepEqual(seg.Activity, []int{4}) || !reflect.DeepEqual(seg.GroupVectors, []int{10, 6}) {
+		t.Errorf("activity/vectors = %v / %v", seg.Activity, seg.GroupVectors)
+	}
+}

@@ -1,0 +1,135 @@
+package obsv
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// TestNilTrace pins the "tracing off" contract: every method of a nil *Trace
+// and a nil *GroupTrace is a safe no-op, because the simulator hot paths rely
+// on exactly that instead of branching per call site.
+func TestNilTrace(t *testing.T) {
+	var tr *Trace
+	tr.Begin(4, "dense")
+	if g := tr.Group(2); g != nil {
+		t.Fatalf("nil trace Group = %v, want nil", g)
+	}
+	var g *GroupTrace
+	g.SetWorker(3)
+	g.Detect(1, 2, 3)
+	g.Activity(7)
+	g.SetVectors(9)
+	if tr.Kernel() != "" || tr.NumGroups() != 0 || tr.NumDetections() != 0 {
+		t.Fatal("nil trace accessors must report zero values")
+	}
+	if tr.Events() != nil || tr.Activity() != nil || tr.GroupVectors() != nil || tr.CanonicalBytes() != nil {
+		t.Fatal("nil trace slices must be nil")
+	}
+}
+
+func buildSample() *Trace {
+	tr := NewTrace()
+	tr.Assignment = 2
+	tr.Begin(3, "event")
+	g0 := tr.Group(0)
+	g0.SetWorker(0)
+	g0.Detect(5, 0, 1)
+	g0.Detect(7, 3, 0)
+	g0.Activity(11)
+	g0.Activity(4)
+	g0.SetVectors(3)
+	g2 := tr.Group(2)
+	g2.SetWorker(1)
+	g2.Detect(130, 1, 2)
+	g2.SetVectors(2)
+	tr.Group(1).SetVectors(3)
+	return tr
+}
+
+func TestEventsMergeGroupOrder(t *testing.T) {
+	tr := buildSample()
+	want := []Event{
+		{Fault: 5, Time: 0, PO: 1, Group: 0, Assignment: 2, Worker: 0, Kernel: "event"},
+		{Fault: 7, Time: 3, PO: 0, Group: 0, Assignment: 2, Worker: 0, Kernel: "event"},
+		{Fault: 130, Time: 1, PO: 2, Group: 2, Assignment: 2, Worker: 1, Kernel: "event"},
+	}
+	if got := tr.Events(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Events() = %+v, want %+v", got, want)
+	}
+	if tr.NumDetections() != 3 {
+		t.Fatalf("NumDetections = %d, want 3", tr.NumDetections())
+	}
+	if got, want := tr.Activity(), []int{11, 4}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Activity = %v, want %v", got, want)
+	}
+	if got, want := tr.GroupVectors(), []int{3, 3, 2}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("GroupVectors = %v, want %v", got, want)
+	}
+	if tr.Kernel() != "event" || tr.NumGroups() != 3 {
+		t.Fatalf("Kernel/NumGroups = %q/%d", tr.Kernel(), tr.NumGroups())
+	}
+}
+
+// TestCanonicalBytesExcludesAnnotations is the determinism contract:
+// worker and kernel are annotations, so two traces differing only in those
+// must render identical canonical forms.
+func TestCanonicalBytesExcludesAnnotations(t *testing.T) {
+	a := buildSample()
+	b := buildSample()
+	b.Begin(3, "dense") // different kernel ...
+	g0 := b.Group(0)
+	g0.SetWorker(7) // ... and different worker assignment
+	g0.Detect(5, 0, 1)
+	g0.Detect(7, 3, 0)
+	g0.Activity(11)
+	g0.Activity(4)
+	g0.SetVectors(3)
+	g2 := b.Group(2)
+	g2.SetWorker(5)
+	g2.Detect(130, 1, 2)
+	g2.SetVectors(2)
+	b.Group(1).SetVectors(3)
+	if !bytes.Equal(a.CanonicalBytes(), b.CanonicalBytes()) {
+		t.Fatalf("canonical forms differ across annotations:\n%s\nvs\n%s",
+			a.CanonicalBytes(), b.CanonicalBytes())
+	}
+	if a.Events()[0].Kernel == b.Events()[0].Kernel {
+		t.Fatal("annotations should still differ in Events()")
+	}
+}
+
+// TestBeginReusesBuffers checks that re-running a trace resets all per-group
+// state (a stale event or activity sample from the previous run would break
+// byte-identity between a fresh and a reused trace).
+func TestBeginReusesBuffers(t *testing.T) {
+	tr := buildSample()
+	first := string(tr.CanonicalBytes())
+	// Rebuild the identical run on the same trace value.
+	tr2 := buildSample()
+	tr.Begin(3, "event")
+	g0 := tr.Group(0)
+	g0.Detect(5, 0, 1)
+	g0.Detect(7, 3, 0)
+	g0.Activity(11)
+	g0.Activity(4)
+	g0.SetVectors(3)
+	g2 := tr.Group(2)
+	g2.SetWorker(1)
+	g2.Detect(130, 1, 2)
+	g2.SetVectors(2)
+	tr.Group(1).SetVectors(3)
+	if got := string(tr.CanonicalBytes()); got != first {
+		t.Fatalf("reused trace differs from first run:\n%s\nvs\n%s", got, first)
+	}
+	if !bytes.Equal(tr.CanonicalBytes(), tr2.CanonicalBytes()) {
+		t.Fatal("reused trace differs from fresh trace")
+	}
+	// Shrinking and regrowing must not resurrect group 2's old events.
+	tr.Begin(1, "event")
+	tr.Group(0).SetVectors(1)
+	tr.Begin(3, "event")
+	if tr.NumDetections() != 0 {
+		t.Fatalf("Begin leaked %d events from a previous run", tr.NumDetections())
+	}
+}

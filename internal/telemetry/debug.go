@@ -1,33 +1,41 @@
 package telemetry
 
 import (
+	"encoding/json"
 	"expvar"
+	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
-	"sync"
 )
 
-var publishOnce sync.Once
+// DebugServer is a running debug/metrics HTTP server started by ServeDebug.
+type DebugServer struct {
+	addr string
+	err  chan error
+}
+
+// Addr returns the server's bound address (useful with ":0").
+func (s *DebugServer) Addr() string { return s.addr }
+
+// Err returns a channel that receives the http.Serve error when the server
+// stops (at most one value; the channel is buffered, so nobody has to read
+// it). The server otherwise runs until the process exits.
+func (s *DebugServer) Err() <-chan error { return s.err }
 
 // ServeDebug starts an HTTP server on addr exposing net/http/pprof under
-// /debug/pprof/ and expvar (including the hot-path counters as
-// "wbist_counters") under /debug/vars. It returns the bound address (useful
-// with ":0") once the listener is up; the server runs until the process
-// exits. Long-running commands gate this behind a -pprof flag.
-func ServeDebug(addr string) (string, error) {
-	publishOnce.Do(func() {
-		expvar.Publish("wbist_counters", expvar.Func(func() any {
-			m := Counters().Map()
-			if m == nil {
-				m = map[string]int64{}
-			}
-			return m
-		}))
-	})
+// /debug/pprof/, expvar plus the hot-path counters ("wbist_counters") under
+// /debug/vars, and the Prometheus text exposition (counters, span-duration
+// histograms, gauges — see WritePrometheus) under /metrics. Long-running
+// commands gate this behind a -pprof flag.
+//
+// The counters are served per-mux rather than published into the process
+// expvar registry, so any number of servers (including test servers) expose
+// them; serve errors surface on DebugServer.Err instead of being discarded.
+func ServeDebug(addr string) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -35,7 +43,40 @@ func ServeDebug(addr string) (string, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.Handle("/debug/vars", expvar.Handler())
-	go http.Serve(ln, mux) //nolint:errcheck // best-effort debug endpoint
-	return ln.Addr().String(), nil
+	mux.HandleFunc("/debug/vars", serveVars)
+	mux.HandleFunc("/metrics", serveMetrics)
+	srv := &DebugServer{addr: ln.Addr().String(), err: make(chan error, 1)}
+	go func() { srv.err <- http.Serve(ln, mux) }()
+	return srv, nil
+}
+
+// serveVars renders the expvar JSON document with the hot-path counters
+// merged in locally (equivalent to expvar.Handler plus a process-global
+// Publish of "wbist_counters", but without mutating global state — so every
+// mux serves the counters, not just the first one created).
+func serveVars(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	fmt.Fprintf(w, "{\n")
+	m := Counters().Map()
+	if m == nil {
+		m = map[string]int64{}
+	}
+	b, err := json.Marshal(m)
+	if err != nil {
+		b = []byte("{}")
+	}
+	fmt.Fprintf(w, "%q: %s", "wbist_counters", b)
+	expvar.Do(func(kv expvar.KeyValue) {
+		if kv.Key == "wbist_counters" {
+			return // a third party published the same name globally
+		}
+		fmt.Fprintf(w, ",\n%q: %s", kv.Key, kv.Value)
+	})
+	fmt.Fprintf(w, "\n}\n")
+}
+
+// serveMetrics renders the Prometheus text exposition.
+func serveMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	WritePrometheus(w)
 }

@@ -1,0 +1,133 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Prometheus text-format (0.0.4) exposition of the process-wide telemetry:
+// the hot-path counters as monotonically increasing counters, completed span
+// durations as per-span histograms, and explicitly published gauges (e.g.
+// the pipeline's running fault coverage). Served under /metrics by
+// ServeDebug so long runs are scrapeable.
+//
+// The histogram and gauge state is process-wide, like the counters: every
+// Recorder feeds it as spans end (see Recorder.emit), so one scrape endpoint
+// observes all recorders of the process.
+
+// promBuckets are the span-duration histogram upper bounds in seconds,
+// spanning sub-millisecond fault-group passes to multi-minute table sweeps.
+var promBuckets = [...]float64{0.001, 0.01, 0.1, 1, 10, 100}
+
+// histogram is one span path's duration distribution (non-cumulative bucket
+// counts; cumulated at exposition time as Prometheus requires).
+type histogram struct {
+	counts [len(promBuckets) + 1]uint64
+	sum    float64
+}
+
+var (
+	promMu     sync.Mutex
+	promHists  = map[string]*histogram{}
+	promGauges = map[string]float64{}
+)
+
+// observeSpan folds one completed span into its path's duration histogram.
+func observeSpan(ev SpanEvent) {
+	s := ev.Duration().Seconds()
+	promMu.Lock()
+	h := promHists[ev.Span]
+	if h == nil {
+		h = &histogram{}
+		promHists[ev.Span] = h
+	}
+	idx := len(promBuckets)
+	for i, ub := range promBuckets {
+		if s <= ub {
+			idx = i
+			break
+		}
+	}
+	h.counts[idx]++
+	h.sum += s
+	promMu.Unlock()
+}
+
+// SetGauge publishes (or updates) a process-wide gauge, exposed as
+// wbist_<name> in the Prometheus exposition. The pipeline uses it for the
+// running fault coverage.
+func SetGauge(name string, v float64) {
+	promMu.Lock()
+	promGauges[name] = v
+	promMu.Unlock()
+}
+
+// resetPromState clears histograms and gauges (golden tests only; the
+// counters are reset separately by the caller comparing snapshots).
+func resetPromState() {
+	promMu.Lock()
+	promHists = map[string]*histogram{}
+	promGauges = map[string]float64{}
+	promMu.Unlock()
+}
+
+// promName maps an internal dotted/slashed name to a Prometheus metric name
+// component ("fsim.gate_evals" → "fsim_gate_evals").
+func promName(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}
+
+// WritePrometheus writes the exposition in the Prometheus text format
+// (version 0.0.4). Output is deterministic: metrics and label values appear
+// in sorted order.
+func WritePrometheus(w io.Writer) {
+	snap := Counters()
+	for id := CounterID(0); id < NumCounters; id++ {
+		name := "wbist_" + promName(id.Name()) + "_total"
+		fmt.Fprintf(w, "# TYPE %s counter\n", name)
+		fmt.Fprintf(w, "%s %d\n", name, snap.Get(id))
+	}
+
+	promMu.Lock()
+	spans := make([]string, 0, len(promHists))
+	for s := range promHists {
+		spans = append(spans, s)
+	}
+	sort.Strings(spans)
+	if len(spans) > 0 {
+		fmt.Fprintf(w, "# TYPE wbist_span_duration_seconds histogram\n")
+	}
+	for _, span := range spans {
+		h := promHists[span]
+		cum := uint64(0)
+		for i, ub := range promBuckets {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "wbist_span_duration_seconds_bucket{span=%q,le=\"%g\"} %d\n", span, ub, cum)
+		}
+		cum += h.counts[len(promBuckets)]
+		fmt.Fprintf(w, "wbist_span_duration_seconds_bucket{span=%q,le=\"+Inf\"} %d\n", span, cum)
+		fmt.Fprintf(w, "wbist_span_duration_seconds_sum{span=%q} %g\n", span, h.sum)
+		fmt.Fprintf(w, "wbist_span_duration_seconds_count{span=%q} %d\n", span, cum)
+	}
+	gauges := make([]string, 0, len(promGauges))
+	for g := range promGauges {
+		gauges = append(gauges, g)
+	}
+	sort.Strings(gauges)
+	for _, g := range gauges {
+		name := "wbist_" + promName(g)
+		fmt.Fprintf(w, "# TYPE %s gauge\n", name)
+		fmt.Fprintf(w, "%s %g\n", name, promGauges[g])
+	}
+	promMu.Unlock()
+}

@@ -1,0 +1,87 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWritePrometheusGolden pins the exposition format: one deterministic
+// recorder run must render the exact histogram/gauge section. Counter lines
+// are process-wide (other tests bump them), so the golden covers everything
+// after them.
+func TestWritePrometheusGolden(t *testing.T) {
+	resetPromState()
+	t.Cleanup(resetPromState)
+
+	// Feed the histogram directly so durations are exact.
+	observeSpan(SpanEvent{Span: "pipeline/atpg", DurationNS: int64(500 * time.Microsecond)})
+	observeSpan(SpanEvent{Span: "pipeline/atpg", DurationNS: int64(50 * time.Millisecond)})
+	observeSpan(SpanEvent{Span: "pipeline", DurationNS: int64(200 * time.Second)})
+	SetGauge("fault_coverage", 0.875)
+	SetGauge("weird name!", 1)
+
+	var buf bytes.Buffer
+	WritePrometheus(&buf)
+	out := buf.String()
+
+	for id := CounterID(0); id < NumCounters; id++ {
+		want := "wbist_" + promName(id.Name()) + "_total"
+		if !strings.Contains(out, "# TYPE "+want+" counter\n"+want+" ") {
+			t.Errorf("missing counter exposition for %s", want)
+		}
+	}
+
+	i := strings.Index(out, "# TYPE wbist_span_duration_seconds histogram")
+	if i < 0 {
+		t.Fatalf("missing histogram section:\n%s", out)
+	}
+	golden := `# TYPE wbist_span_duration_seconds histogram
+wbist_span_duration_seconds_bucket{span="pipeline",le="0.001"} 0
+wbist_span_duration_seconds_bucket{span="pipeline",le="0.01"} 0
+wbist_span_duration_seconds_bucket{span="pipeline",le="0.1"} 0
+wbist_span_duration_seconds_bucket{span="pipeline",le="1"} 0
+wbist_span_duration_seconds_bucket{span="pipeline",le="10"} 0
+wbist_span_duration_seconds_bucket{span="pipeline",le="100"} 0
+wbist_span_duration_seconds_bucket{span="pipeline",le="+Inf"} 1
+wbist_span_duration_seconds_sum{span="pipeline"} 200
+wbist_span_duration_seconds_count{span="pipeline"} 1
+wbist_span_duration_seconds_bucket{span="pipeline/atpg",le="0.001"} 1
+wbist_span_duration_seconds_bucket{span="pipeline/atpg",le="0.01"} 1
+wbist_span_duration_seconds_bucket{span="pipeline/atpg",le="0.1"} 2
+wbist_span_duration_seconds_bucket{span="pipeline/atpg",le="1"} 2
+wbist_span_duration_seconds_bucket{span="pipeline/atpg",le="10"} 2
+wbist_span_duration_seconds_bucket{span="pipeline/atpg",le="100"} 2
+wbist_span_duration_seconds_bucket{span="pipeline/atpg",le="+Inf"} 2
+wbist_span_duration_seconds_sum{span="pipeline/atpg"} 0.0505
+wbist_span_duration_seconds_count{span="pipeline/atpg"} 2
+# TYPE wbist_fault_coverage gauge
+wbist_fault_coverage 0.875
+# TYPE wbist_weird_name_ gauge
+wbist_weird_name_ 1
+`
+	if got := out[i:]; got != golden {
+		t.Errorf("exposition tail mismatch:\n--- got ---\n%s--- want ---\n%s", got, golden)
+	}
+}
+
+// TestRecorderFeedsPromHistograms checks the Recorder.emit → observeSpan
+// wiring end to end.
+func TestRecorderFeedsPromHistograms(t *testing.T) {
+	resetPromState()
+	t.Cleanup(resetPromState)
+	rec := New()
+	sp := rec.StartSpan("promwire")
+	sp.Child("inner").End()
+	sp.End()
+	var buf bytes.Buffer
+	WritePrometheus(&buf)
+	out := buf.String()
+	if !strings.Contains(out, `wbist_span_duration_seconds_count{span="promwire"} 1`) {
+		t.Errorf("recorder spans not in exposition:\n%s", out)
+	}
+	if !strings.Contains(out, `wbist_span_duration_seconds_count{span="promwire/inner"} 1`) {
+		t.Errorf("child span not in exposition:\n%s", out)
+	}
+}

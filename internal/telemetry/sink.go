@@ -1,7 +1,9 @@
 package telemetry
 
 import (
+	"bufio"
 	"encoding/json"
+	"fmt"
 	"io"
 	"sync"
 	"time"
@@ -73,6 +75,31 @@ func (s *JSONLSink) Close() error {
 		s.c = nil
 	}
 	return s.err
+}
+
+// ReadJSONL parses a JSON-lines metrics stream (as written by JSONLSink) and
+// returns the per-phase totals in first-seen order — the ingestion side of
+// the -metrics file format, used by `wbist report`.
+func ReadJSONL(r io.Reader) ([]PhaseStats, error) {
+	agg := NewAggregator()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var ev SpanEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return nil, fmt.Errorf("telemetry: metrics line %d: %w", lineNo, err)
+		}
+		agg.Record(ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return agg.Phases(), nil
 }
 
 // PhaseStats is the aggregated cost of one span path.

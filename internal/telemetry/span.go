@@ -54,17 +54,19 @@ func (r *Recorder) Phases() []PhaseStats {
 }
 
 func (r *Recorder) emit(ev SpanEvent) {
+	observeSpan(ev) // process-wide span-duration histograms (/metrics)
 	r.mu.Lock()
 	r.agg.Record(ev)
 	for _, s := range r.sinks {
 		s.Record(ev)
 	}
-	w := r.progress
-	r.mu.Unlock()
-	if w != nil {
-		fmt.Fprintf(w, "[telemetry] %-32s %10.3fs  %8.1f KB\n",
+	// The progress write stays under the lock so concurrent span completions
+	// never interleave on (or race over) a non-thread-safe writer.
+	if r.progress != nil {
+		fmt.Fprintf(r.progress, "[telemetry] %-32s %10.3fs  %8.1f KB\n",
 			ev.Span, ev.Duration().Seconds(), float64(ev.AllocBytes)/1024)
 	}
+	r.mu.Unlock()
 }
 
 // Span is one timed phase. Spans nest: Child opens a sub-phase whose path is

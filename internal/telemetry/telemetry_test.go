@@ -189,30 +189,85 @@ func TestProgressWriter(t *testing.T) {
 	}
 }
 
+// TestSetProgressConcurrentWithSpans flips the progress writer while spans
+// complete on other goroutines; under -race this pins the recorder's locking
+// around the progress sink.
+func TestSetProgressConcurrentWithSpans(t *testing.T) {
+	rec := New()
+	var bufs [2]bytes.Buffer
+	rec.SetProgress(&bufs[0])
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				sp := rec.StartSpan("worker")
+				sp.Child("inner").End()
+				sp.End()
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		rec.SetProgress(&bufs[i%2])
+	}
+	wg.Wait()
+	rec.SetProgress(nil)
+	for _, p := range rec.Phases() {
+		if p.Count != 200 {
+			t.Errorf("%s count = %d, want 200", p.Span, p.Count)
+		}
+	}
+	if got := bufs[0].Len() + bufs[1].Len(); got == 0 {
+		t.Error("no progress output written")
+	}
+}
+
 func TestServeDebug(t *testing.T) {
-	addr, err := ServeDebug("127.0.0.1:0")
+	client := &http.Client{Timeout: 5 * time.Second}
+	get := func(addr, path string) []byte {
+		t.Helper()
+		resp, err := client.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s status %d", path, resp.StatusCode)
+		}
+		return body
+	}
+	// Two servers: the counters used to be published process-globally under
+	// a sync.Once, which made every server after the first silently serve no
+	// counters. They are per-mux now, so both must expose them.
+	first, err := ServeDebug("127.0.0.1:0")
 	if err != nil {
 		t.Fatalf("ServeDebug: %v", err)
 	}
-	client := &http.Client{Timeout: 5 * time.Second}
-	resp, err := client.Get("http://" + addr + "/debug/vars")
+	second, err := ServeDebug("127.0.0.1:0")
 	if err != nil {
-		t.Fatalf("GET /debug/vars: %v", err)
+		t.Fatalf("second ServeDebug: %v", err)
 	}
-	defer resp.Body.Close()
-	body, _ := io.ReadAll(resp.Body)
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("/debug/vars status %d", resp.StatusCode)
+	for i, srv := range []*DebugServer{first, second} {
+		body := get(srv.Addr(), "/debug/vars")
+		if !bytes.Contains(body, []byte("wbist_counters")) {
+			t.Errorf("server %d: /debug/vars missing wbist_counters:\n%s", i, body)
+		}
+		if !json.Valid(body) {
+			t.Errorf("server %d: /debug/vars is not valid JSON:\n%s", i, body)
+		}
+		metrics := get(srv.Addr(), "/metrics")
+		if !bytes.Contains(metrics, []byte("wbist_fsim_gate_evals_total")) {
+			t.Errorf("server %d: /metrics missing counter exposition:\n%s", i, metrics)
+		}
 	}
-	if !bytes.Contains(body, []byte("wbist_counters")) {
-		t.Errorf("/debug/vars missing wbist_counters:\n%s", body)
+	if body := get(first.Addr(), "/debug/pprof/cmdline"); len(body) == 0 {
+		t.Error("/debug/pprof/cmdline empty")
 	}
-	resp2, err := client.Get("http://" + addr + "/debug/pprof/cmdline")
-	if err != nil {
-		t.Fatalf("GET /debug/pprof/cmdline: %v", err)
-	}
-	resp2.Body.Close()
-	if resp2.StatusCode != http.StatusOK {
-		t.Errorf("/debug/pprof/cmdline status %d", resp2.StatusCode)
+	select {
+	case err := <-first.Err():
+		t.Fatalf("server reported error while still running: %v", err)
+	default:
 	}
 }

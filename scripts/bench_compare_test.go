@@ -1,0 +1,213 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const pipelineBase = `{
+  "schema": "wbist-bench-pipeline/v1",
+  "circuits": [
+    {"circuit": "s298", "wall_ns": 1000000000,
+     "phases": [{"span": "pipeline/atpg", "wall_ns": 800000000}],
+     "counters": {"fsim.gate_evals": 900, "fsim.gates_skipped": 100,
+                  "fsim.vectors": 50, "fsim.group_passes": 4,
+                  "fsim.faults_dropped": 30, "core.candidates_scored": 7,
+                  "podem.backtracks": 2, "fsim.events_scheduled": 60}},
+    {"circuit": "s344", "wall_ns": 5, "counters": {}}
+  ]
+}`
+
+func TestComparePipelineExactAndAdvisory(t *testing.T) {
+	dir := t.TempDir()
+	base := writeFile(t, dir, "base.json", pipelineBase)
+	// Fresh: same effective evals with a different kernel split, one exact
+	// counter diverged, wall 3x slower.
+	fresh := writeFile(t, dir, "fresh.json", `{
+  "schema": "wbist-bench-pipeline/v1",
+  "circuits": [
+    {"circuit": "s298", "wall_ns": 3000000000,
+     "phases": [{"span": "pipeline/atpg", "wall_ns": 800000000}],
+     "counters": {"fsim.gate_evals": 1000, "fsim.gates_skipped": 0,
+                  "fsim.vectors": 51, "fsim.group_passes": 4,
+                  "fsim.faults_dropped": 30, "core.candidates_scored": 7,
+                  "podem.backtracks": 2}},
+    {"circuit": "s1488", "wall_ns": 5, "counters": {}}
+  ]
+}`)
+	rows, err := comparePipeline(base, fresh, 0.5)
+	if err != nil {
+		t.Fatalf("comparePipeline: %v", err)
+	}
+	byMetric := map[string]row{}
+	for _, r := range rows {
+		byMetric[r.circuit+"/"+r.metric] = r
+	}
+	if r := byMetric["s298/effective_evals"]; r.status != "ok" || r.base != "1000" || r.fresh != "1000" {
+		t.Errorf("effective_evals row = %+v", r)
+	}
+	if r := byMetric["s298/fsim.vectors"]; r.status != "FAIL" {
+		t.Errorf("diverged vectors row = %+v", r)
+	}
+	if r := byMetric["s298/wall"]; r.status != "slow" {
+		t.Errorf("3x wall row = %+v", r)
+	}
+	if r := byMetric["s298/wall pipeline/atpg"]; r.status != "ok" {
+		t.Errorf("matched phase wall row = %+v", r)
+	}
+	if r := byMetric["s298/fsim.events_scheduled"]; r.status != "info" {
+		t.Errorf("kernel-internal row gated: %+v", r)
+	}
+	if r := byMetric["s1488/(not in baseline)"]; r.status != "info" {
+		t.Errorf("unknown circuit row = %+v", r)
+	}
+	var buf bytes.Buffer
+	if failed := render(&buf, base, fresh, rows); failed != 1 {
+		t.Errorf("render counted %d failures, want 1:\n%s", failed, buf.String())
+	}
+	if !strings.Contains(buf.String(), "! s298") {
+		t.Errorf("render output lacks failure marker:\n%s", buf.String())
+	}
+}
+
+func TestComparePipelineNoOverlap(t *testing.T) {
+	dir := t.TempDir()
+	base := writeFile(t, dir, "base.json", pipelineBase)
+	fresh := writeFile(t, dir, "fresh.json",
+		`{"schema": "wbist-bench-pipeline/v1", "circuits": [{"circuit": "zz", "counters": {}}]}`)
+	if _, err := comparePipeline(base, fresh, 0.5); err == nil {
+		t.Error("no-overlap compare did not error")
+	}
+}
+
+func TestComparePipelineSchemaMismatch(t *testing.T) {
+	dir := t.TempDir()
+	base := writeFile(t, dir, "base.json", `{"schema": "wbist-bench-kernel/v1", "circuits": []}`)
+	if _, err := comparePipeline(base, base, 0.5); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("schema mismatch err = %v", err)
+	}
+	if _, err := comparePipeline(filepath.Join(dir, "missing.json"), base, 0.5); err == nil {
+		t.Error("missing file did not error")
+	}
+	bad := writeFile(t, dir, "bad.json", "{oops")
+	if _, err := comparePipeline(bad, bad, 0.5); err == nil {
+		t.Error("bad JSON did not error")
+	}
+}
+
+const kernelBase = `{
+  "schema": "wbist-bench-kernel/v1",
+  "circuits": [
+    {"circuit": "s27", "faults": 26, "vectors": 2000,
+     "dense": {"wall_ns": 300000, "gate_evals": 20000},
+     "event": {"wall_ns": 250000, "gate_evals": 5000, "gates_skipped": 15000,
+               "events_scheduled": 5000, "cone_hits": 5000}}
+  ]
+}`
+
+func TestCompareKernel(t *testing.T) {
+	dir := t.TempDir()
+	base := writeFile(t, dir, "base.json", kernelBase)
+	// Same effective evals, different split; event wall 10x faster.
+	fresh := writeFile(t, dir, "fresh.json", `{
+  "schema": "wbist-bench-kernel/v1",
+  "circuits": [
+    {"circuit": "s27", "faults": 26, "vectors": 2000,
+     "dense": {"wall_ns": 310000, "gate_evals": 20000},
+     "event": {"wall_ns": 25000, "gate_evals": 6000, "gates_skipped": 14000,
+               "events_scheduled": 6000, "cone_hits": 5500}}
+  ]
+}`)
+	rows, err := compareKernel(base, fresh, 0.5)
+	if err != nil {
+		t.Fatalf("compareKernel: %v", err)
+	}
+	byMetric := map[string]row{}
+	for _, r := range rows {
+		byMetric[r.metric] = r
+	}
+	for _, m := range []string{"vectors", "faults", "dense.gate_evals", "event.effective_evals"} {
+		if r := byMetric[m]; r.status != "ok" {
+			t.Errorf("%s row = %+v", m, r)
+		}
+	}
+	if r := byMetric["event.gate_evals"]; r.status != "info" {
+		t.Errorf("event split row gated: %+v", r)
+	}
+	if r := byMetric["event.wall"]; r.status != "fast" {
+		t.Errorf("10x-faster wall row = %+v", r)
+	}
+	if r := byMetric["dense.wall"]; r.status != "ok" {
+		t.Errorf("in-tolerance wall row = %+v", r)
+	}
+	var buf bytes.Buffer
+	if failed := render(&buf, base, fresh, rows); failed != 0 {
+		t.Errorf("render counted %d failures, want 0:\n%s", failed, buf.String())
+	}
+}
+
+func TestAppendMarkdown(t *testing.T) {
+	dir := t.TempDir()
+	sum := filepath.Join(dir, "summary.md")
+	rows := []row{
+		{"s298", "fsim.vectors", "50", "51", "FAIL"},
+		{"s298", "wall", "1000.0ms", "3000.0ms", "slow"},
+		{"s298", "effective_evals", "1000", "1000", "ok"},
+		{"s298", "fsim.cone_hits", "0", "7", "info"},
+	}
+	if err := appendMarkdown(sum, "pipeline", "BENCH_pipeline.json", rows); err != nil {
+		t.Fatalf("appendMarkdown: %v", err)
+	}
+	// Appends, never truncates.
+	if err := appendMarkdown(sum, "pipeline", "BENCH_pipeline.json", rows[2:]); err != nil {
+		t.Fatalf("appendMarkdown (second): %v", err)
+	}
+	b, err := os.ReadFile(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(b)
+	if strings.Count(out, "### bench-check (pipeline)") != 2 {
+		t.Errorf("summary does not append:\n%s", out)
+	}
+	if !strings.Contains(out, "| s298 | fsim.vectors | 50 | 51 | FAIL |") ||
+		!strings.Contains(out, "| s298 | wall |") {
+		t.Errorf("flagged rows missing from table:\n%s", out)
+	}
+	if strings.Contains(out, "effective_evals") || strings.Contains(out, "cone_hits") {
+		t.Errorf("ok/info rows leaked into the table:\n%s", out)
+	}
+	if !strings.Contains(out, "2 row(s) ok, 2 flagged.") {
+		t.Errorf("summary counts wrong:\n%s", out)
+	}
+}
+
+func TestWallStatus(t *testing.T) {
+	for _, tc := range []struct {
+		base, fresh int64
+		want        string
+	}{
+		{1000, 1000, "ok"},
+		{1000, 1499, "ok"},
+		{1000, 1501, "slow"},
+		{1000, 600, "fast"},
+		{0, 5, "ok"}, // no baseline signal
+	} {
+		rows := wall(nil, "c", "wall", tc.base, tc.fresh, 0.5)
+		if got := rows[0].status; got != tc.want {
+			t.Errorf("wall(%d, %d) = %q, want %q", tc.base, tc.fresh, got, tc.want)
+		}
+	}
+}

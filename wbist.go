@@ -38,6 +38,7 @@ import (
 	"repro/internal/iscas"
 	"repro/internal/logic"
 	"repro/internal/obs"
+	"repro/internal/obsv"
 	"repro/internal/rcg"
 	"repro/internal/ref"
 	"repro/internal/scoap"
@@ -289,13 +290,65 @@ type CounterSnapshot = telemetry.Snapshot
 // snapshots (Snapshot.Sub) to cost a region.
 func Counters() CounterSnapshot { return telemetry.Counters() }
 
+// DebugServer is a running debug/metrics HTTP server (see ServeDebug).
+type DebugServer = telemetry.DebugServer
+
 // ServeDebug exposes net/http/pprof and expvar (including the hot-path
-// counters) on addr, returning the bound address (the CLI's -pprof flag).
-func ServeDebug(addr string) (string, error) { return telemetry.ServeDebug(addr) }
+// counters) under /debug/ on addr, plus the Prometheus text exposition under
+// /metrics (the CLI's -pprof flag). The returned server reports its bound
+// address via Addr and surfaces the serve error on Err.
+func ServeDebug(addr string) (*DebugServer, error) { return telemetry.ServeDebug(addr) }
+
+// SetGauge publishes a process-wide gauge into the Prometheus exposition
+// (exposed as wbist_<name>).
+func SetGauge(name string, v float64) { telemetry.SetGauge(name, v) }
+
+// WritePrometheus writes all telemetry (counters, span-duration histograms,
+// gauges) in the Prometheus text format, as served under /metrics.
+func WritePrometheus(w io.Writer) { telemetry.WritePrometheus(w) }
 
 // ClearRunCache drops the memoized pipeline runs (fresh-measurement helper
 // for benchmarking tools).
 func ClearRunCache() { expt.ClearCache() }
+
+// RunTrace is the detection-provenance record of one whole pipeline run: the
+// deterministic sequence T against the collapsed fault universe, then every
+// compacted weight assignment's window against the targets it mops up — for
+// each detection the fault, time unit, detecting primary output, fault group,
+// worker and kernel. The canonical stream is bit-identical across worker
+// counts and kernels.
+type RunTrace = obsv.RunTrace
+
+// DetectionEvent is one first detection inside a traced run.
+type DetectionEvent = obsv.Event
+
+// RunReport is the digested view of a run: coverage-vs-vector curve with its
+// knee, phase cost breakdown, kernel counters, slowest fault groups and the
+// per-assignment detection attribution.
+type RunReport = obsv.Report
+
+// TraceRun re-simulates a completed run with detection tracing and returns
+// its provenance record (the data behind `wbist report`).
+func TraceRun(r *Run) (*RunTrace, error) { return expt.TraceRun(r) }
+
+// WriteTrace serialises a run trace as JSON lines (schema wbist-trace/v1).
+func WriteTrace(w io.Writer, rt *RunTrace) error { return obsv.WriteTrace(w, rt) }
+
+// ReadTrace parses a JSONL run trace written by WriteTrace.
+func ReadTrace(r io.Reader) (*RunTrace, error) { return obsv.ReadTrace(r) }
+
+// BuildReport digests a run trace and optional per-phase metrics into a run
+// report; either input may be nil/empty.
+func BuildReport(rt *RunTrace, phases []PhaseStats) *RunReport {
+	return obsv.BuildReport(rt, phases)
+}
+
+// RenderReport writes the human-readable form of a run report.
+func RenderReport(w io.Writer, rep *RunReport) { obsv.Render(w, rep) }
+
+// ReadMetrics parses a JSON-lines metrics file (the -metrics format) into
+// per-phase totals, the other ingestion path of `wbist report`.
+func ReadMetrics(r io.Reader) ([]PhaseStats, error) { return telemetry.ReadJSONL(r) }
 
 // RCGParams parameterises the seeded random circuit generator (all counts
 // clamped into supported ranges; deterministic in Seed).
