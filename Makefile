@@ -10,7 +10,9 @@
 # baseline; `make bench-kernel` refreshes the BENCH_event.json dense-vs-event
 # kernel comparison; `make bench-check` measures a fresh smoke benchmark and
 # gates its deterministic work counters against all three committed BENCH
-# baselines (wall-clock is advisory; see scripts/bench_compare.go).
+# baselines (wall-clock is advisory; see scripts/bench_compare.go);
+# `make serve-smoke` drives `wbist serve` end to end over HTTP (submit, poll,
+# cache-hit resubmit, SIGTERM drain; see scripts/serve_smoke.sh).
 
 GO ?= go
 
@@ -19,7 +21,7 @@ GO ?= go
 FUZZ_TARGETS = FuzzRefVsFsim FuzzEventVsDense FuzzFaultFreeVsSim FuzzWgenVsExpansion FuzzBenchRoundTrip
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet fuzz-smoke cover cover-gate bench-json bench-smoke bench-parallel bench-kernel bench-check
+.PHONY: all build test race vet fuzz-smoke cover cover-gate bench-json bench-smoke bench-parallel bench-kernel bench-check serve-smoke
 
 all: build test race vet
 
@@ -59,6 +61,9 @@ bench-parallel: build
 
 bench-kernel: build
 	$(GO) run ./cmd/experiments kernelbench
+
+serve-smoke: build
+	./scripts/serve_smoke.sh
 
 bench-check: build
 	$(GO) run ./cmd/experiments -circuits s298 -bench-json /tmp/wbist_bench_fresh.json bench

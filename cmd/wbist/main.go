@@ -15,6 +15,16 @@
 //	wbist faults <circuit>          fault dictionary (fault, detection time)
 //	wbist testbench <circuit>       self-checking Verilog testbench for T
 //	wbist metrics <circuit>         per-phase pipeline cost table
+//	wbist serve [flags]             HTTP/JSON BIST-compilation service with a
+//	                                content-addressed artifact cache
+//
+// The serve subcommand takes its own flags after the subcommand name:
+// -addr (listen address, default localhost:8341), -store (artifact cache
+// directory), -jobs (max concurrent compilations), -queue (queued
+// submissions beyond the running ones) and -drain (graceful-shutdown
+// deadline). SIGINT/SIGTERM drain in-flight jobs before exit; jobs still
+// running at the -drain deadline are cancelled and stop within one
+// fault-group pass.
 //
 // The report subcommand takes its own flags after the subcommand name:
 // -json (machine-readable report), -trace <file> (also write the detection
@@ -33,12 +43,19 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"sort"
+	"syscall"
+	"time"
 
 	"repro"
 	"repro/internal/tables"
@@ -59,7 +76,7 @@ var (
 func usage() {
 	fmt.Fprintln(os.Stderr,
 		"usage: wbist [flags] <info|run|table6|obs|synth|weights|verilog|verilog-gen|"+
-			"selftest|report|faults|testbench|metrics> [circuit ...]")
+			"selftest|report|faults|testbench|metrics|serve> [circuit ...]")
 	flag.PrintDefaults()
 	os.Exit(2)
 }
@@ -71,15 +88,24 @@ func main() {
 	if len(args) == 0 {
 		usage()
 	}
+	// SIGINT/SIGTERM cancel this context: long pipelines stop within one
+	// fault-group pass, and the serve subcommand drains before exiting. A
+	// second signal kills the process the usual way (the Stop in NotifyContext
+	// restores default handling once ctx is cancelled).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var debugSrv *wbist.DebugServer
 	if *flagPprof != "" {
 		srv, err := wbist.ServeDebug(*flagPprof)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "wbist:", err)
 			os.Exit(1)
 		}
+		debugSrv = srv
 		fmt.Fprintf(os.Stderr, "wbist: pprof/expvar on http://%s/debug/, Prometheus on /metrics\n", srv.Addr())
 		go func() {
-			if err := <-srv.Err(); err != nil {
+			if err := <-srv.Err(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				fmt.Fprintln(os.Stderr, "wbist: debug server:", err)
 			}
 		}()
@@ -90,6 +116,7 @@ func main() {
 		os.Exit(2)
 	}
 	cfg := wbist.Config{LG: *flagLG, Seed: *flagSeed, RandomWindows: *flagRandom, Workers: *flagWorkers, Kernel: kernel}
+	cfg.Ctx = ctx
 	rec, finish, err := setupTelemetry(args[0])
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wbist:", err)
@@ -123,16 +150,95 @@ func main() {
 		err = cmdTestbench(args[1:], cfg)
 	case "metrics":
 		err = cmdMetrics(args[1:], cfg)
+	case "serve":
+		err = cmdServe(ctx, args[1:], cfg)
 	default:
 		usage()
 	}
 	if ferr := finish(); err == nil {
 		err = ferr
 	}
+	if debugSrv != nil {
+		sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		debugSrv.Shutdown(sctx)
+		cancel()
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wbist:", err)
 		os.Exit(1)
 	}
+}
+
+// cmdServe runs the HTTP/JSON BIST-compilation service until the signal
+// context is cancelled, then drains: new submissions are refused, in-flight
+// jobs run to completion (or are cancelled at the -drain deadline, stopping
+// within one fault-group pass), and both the job API and the -pprof debug
+// server shut down gracefully.
+func cmdServe(ctx context.Context, args []string, cfg wbist.Config) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "localhost:8341", "job API listen address")
+	dir := fs.String("store", defaultStoreDir(), "artifact store directory")
+	jobs := fs.Int("jobs", 2, "maximum concurrently running compilations")
+	queue := fs.Int("queue", 16, "queued submissions allowed beyond the running ones")
+	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("serve takes no positional arguments, got %q", fs.Args())
+	}
+	st, err := wbist.OpenStore(*dir)
+	if err != nil {
+		return err
+	}
+	srv, err := wbist.NewJobServer(wbist.ServeOptions{
+		Store:         st,
+		MaxConcurrent: *jobs,
+		QueueDepth:    *queue,
+		Workers:       cfg.Workers,
+		Kernel:        cfg.Kernel,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv}
+	fmt.Fprintf(os.Stderr, "wbist: job API on http://%s/api/v1/, artifact store %s\n", ln.Addr(), *dir)
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintf(os.Stderr, "wbist: shutting down (drain %s)\n", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Drain jobs first so clients can keep polling during the drain, then
+	// close the listener and wait for in-flight requests.
+	jobErr := srv.Shutdown(dctx)
+	httpErr := httpSrv.Shutdown(dctx)
+	if jobErr != nil {
+		fmt.Fprintf(os.Stderr, "wbist: drain deadline hit, cancelled in-flight jobs: %v\n", jobErr)
+	}
+	if httpErr != nil {
+		return httpErr
+	}
+	fmt.Fprintln(os.Stderr, "wbist: shutdown complete")
+	return nil
+}
+
+// defaultStoreDir places the artifact store under the user cache directory,
+// falling back to a local path when none is defined.
+func defaultStoreDir() string {
+	if base, err := os.UserCacheDir(); err == nil {
+		return base + "/wbist/store"
+	}
+	return ".wbist-store"
 }
 
 // setupTelemetry builds the recorder implied by the observability flags (and

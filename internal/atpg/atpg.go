@@ -16,6 +16,8 @@
 package atpg
 
 import (
+	"context"
+
 	"repro/internal/circuit"
 	"repro/internal/fault"
 	"repro/internal/fsim"
@@ -70,6 +72,12 @@ type Options struct {
 	// Span, when non-nil, is the parent telemetry span under which the
 	// generator records its phases ("atpg" with one child per phase).
 	Span *telemetry.Span
+	// Ctx, if non-nil, cancels generation: it is checked between phases and
+	// between directed trials (and threaded into every fsim run, which stops
+	// claiming fault groups). Generate has no error return, so a cancelled
+	// run hands back whatever partial sequence it had — callers that care
+	// (the pipeline) check ctx.Err() afterwards and discard the result.
+	Ctx context.Context
 }
 
 func (o *Options) fill(c *circuit.Circuit) {
@@ -152,7 +160,7 @@ func Generate(c *circuit.Circuit, opts Options) *Result {
 	// Phase 1: one long random sequence, truncated after the last detection.
 	p1 := span.Child("random")
 	seq := sim.RandomSequence(rng, c.NumInputs(), opts.RandomLen)
-	out := s.Run(seq, faults, fsim.Options{Init: opts.Init, Workers: opts.Workers, Kernel: opts.Kernel})
+	out := s.Run(seq, faults, fsim.Options{Init: opts.Init, Workers: opts.Workers, Kernel: opts.Kernel, Ctx: opts.Ctx})
 	last := -1
 	for i := range faults {
 		if out.Detected[i] && out.DetTime[i] > last {
@@ -175,12 +183,15 @@ func Generate(c *circuit.Circuit, opts Options) *Result {
 	remaining := undetectedSubset(faults, rerun(s, seq, faults, opts))
 	accepted := 0
 	budget := opts.Rounds * opts.Restarts
-	for len(remaining) > 0 && accepted < opts.MaxAccepts && budget > 0 {
+	for len(remaining) > 0 && accepted < opts.MaxAccepts && budget > 0 && !ctxDone(opts.Ctx) {
 		// The remaining faults are undetected by seq, so this pass detects
 		// nothing and exists purely to capture the end-of-prefix states.
-		base := s.Run(seq, remaining, fsim.Options{Init: opts.Init, SaveStates: true, Workers: opts.Workers, Kernel: opts.Kernel})
+		base := s.Run(seq, remaining, fsim.Options{Init: opts.Init, SaveStates: true, Workers: opts.Workers, Kernel: opts.Kernel, Ctx: opts.Ctx})
+		if base.Cancelled {
+			break // partial FinalStates are unusable; caller discards the run
+		}
 		improved := false
-		for ; budget > 0; budget-- {
+		for ; budget > 0 && !ctxDone(opts.Ctx); budget-- {
 			cand := weightedRandom(rng, c.NumInputs(), opts.TrialLen)
 			// TimeOffset keeps the continued run's detection times on the
 			// same axis as the full sequence (prefix + trial), should a
@@ -208,14 +219,14 @@ func Generate(c *circuit.Circuit, opts Options) *Result {
 	// Phase 2.5: deterministic PODEM phase for the faults random search
 	// missed. Each search continues from the good/faulty machine states at
 	// the end of the current sequence, so found windows are appended.
-	if !opts.NoDeterministicPhase && len(remaining) > 0 {
+	if !opts.NoDeterministicPhase && len(remaining) > 0 && !ctxDone(opts.Ctx) {
 		p25 := span.Child("podem")
 		seq, remaining = deterministicPhase(c, s, seq, remaining, opts)
 		p25.End()
 	}
 
 	// Phase 3: restoration-based static compaction.
-	if !opts.NoCompaction {
+	if !opts.NoCompaction && !ctxDone(opts.Ctx) {
 		p3 := span.Child("compaction")
 		seq = compact(s, seq, faults, opts)
 		p3.End()
@@ -232,7 +243,20 @@ func Generate(c *circuit.Circuit, opts Options) *Result {
 }
 
 func rerun(s *fsim.Simulator, seq *sim.Sequence, faults []fault.Fault, opts Options) *fsim.Outcome {
-	return s.Run(seq, faults, fsim.Options{Init: opts.Init, Workers: opts.Workers, Kernel: opts.Kernel})
+	return s.Run(seq, faults, fsim.Options{Init: opts.Init, Workers: opts.Workers, Kernel: opts.Kernel, Ctx: opts.Ctx})
+}
+
+// ctxDone reports whether a (possibly nil) context has been cancelled.
+func ctxDone(ctx context.Context) bool {
+	if ctx == nil {
+		return false
+	}
+	select {
+	case <-ctx.Done():
+		return true
+	default:
+		return false
+	}
 }
 
 func undetectedSubset(faults []fault.Fault, out *fsim.Outcome) []fault.Fault {

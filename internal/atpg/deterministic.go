@@ -20,14 +20,17 @@ func deterministicPhase(c *circuit.Circuit, s *fsim.Simulator, seq *sim.Sequence
 
 	tried := make(map[fault.Fault]bool)
 	budget := opts.PodemTargets
-	for budget > 0 && len(remaining) > 0 {
+	for budget > 0 && len(remaining) > 0 && !ctxDone(opts.Ctx) {
 		// End-of-sequence states: good machine via the scalar simulator,
 		// faulty machines via a SaveStates pass (remaining faults are
 		// undetected by seq, so the pass detects nothing).
 		goodSim := sim.New(c, opts.Init)
 		goodSim.Run(seq)
 		goodState := goodSim.State()
-		base := s.Run(seq, remaining, fsim.Options{Init: opts.Init, SaveStates: true, Workers: opts.Workers, Kernel: opts.Kernel})
+		base := s.Run(seq, remaining, fsim.Options{Init: opts.Init, SaveStates: true, Workers: opts.Workers, Kernel: opts.Kernel, Ctx: opts.Ctx})
+		if base.Cancelled {
+			break // partial FinalStates are unusable; caller discards the run
+		}
 
 		progressed := false
 		for i, f := range remaining {
@@ -46,12 +49,12 @@ func deterministicPhase(c *circuit.Circuit, s *fsim.Simulator, seq *sim.Sequence
 			cand := seq.Clone()
 			cand.Concat(res.Seq)
 			// Independent verification before acceptance.
-			verify := s.Run(cand, []fault.Fault{f}, fsim.Options{Init: opts.Init, Workers: opts.Workers, Kernel: opts.Kernel})
+			verify := s.Run(cand, []fault.Fault{f}, fsim.Options{Init: opts.Init, Workers: opts.Workers, Kernel: opts.Kernel, Ctx: opts.Ctx})
 			if !verify.Detected[0] {
 				continue
 			}
 			// Accept; drop everything the extension detects.
-			out := s.Run(cand, remaining, fsim.Options{Init: opts.Init, Workers: opts.Workers, Kernel: opts.Kernel})
+			out := s.Run(cand, remaining, fsim.Options{Init: opts.Init, Workers: opts.Workers, Kernel: opts.Kernel, Ctx: opts.Ctx})
 			seq = cand
 			remaining = undetectedSubset(remaining, out)
 			progressed = true

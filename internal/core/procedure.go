@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -58,6 +59,11 @@ type Options struct {
 	// the zero value honors FSIM_KERNEL and defaults to event). Like
 	// Workers, it leaves every result bit unchanged.
 	Kernel fsim.Kernel
+	// Ctx, if non-nil, cancels the procedure: it is checked once per
+	// candidate simulation (and threaded into fsim, which stops claiming
+	// fault groups), so Run returns ctx.Err() promptly instead of finishing
+	// the selection. A nil Ctx never cancels.
+	Ctx context.Context
 	// Span, when non-nil, is the parent telemetry span under which the
 	// procedure records its phases ("core" with "random-windows" and
 	// "selection" children). Later pipeline stages (obs, bist) also hang
@@ -191,6 +197,10 @@ func Run(c *circuit.Circuit, t *sim.Sequence, targets []fault.Fault, detTime []i
 			return nil, err
 		}
 		for w := 0; w < opts.RandomWindows && remaining > 0; w++ {
+			if err := ctxErr(opts.Ctx); err != nil {
+				rsp.End()
+				return nil, err
+			}
 			seq := src.ParallelSequence(c.NumInputs(), opts.LG)
 			var fl []fault.Fault
 			var idx []int
@@ -200,7 +210,7 @@ func Run(c *circuit.Circuit, t *sim.Sequence, targets []fault.Fault, detTime []i
 					idx = append(idx, i)
 				}
 			}
-			out := simulator.Run(seq, fl, fsim.Options{Init: opts.Init, Workers: opts.Workers, Kernel: opts.Kernel})
+			out := simulator.Run(seq, fl, fsim.Options{Init: opts.Init, Workers: opts.Workers, Kernel: opts.Kernel, Ctx: opts.Ctx})
 			res.SimulatedSequences++
 			telemetry.Add(telemetry.CtrCandidates, 1)
 			for k := range fl {
@@ -247,6 +257,7 @@ func Run(c *circuit.Circuit, t *sim.Sequence, targets []fault.Fault, detTime []i
 			AbortAfterFirstGroupIfNone: opts.sampleFirst(),
 			Workers:                    opts.Workers,
 			Kernel:                     opts.Kernel,
+			Ctx:                        opts.Ctx,
 		})
 		res.SimulatedSequences++
 		telemetry.Add(telemetry.CtrCandidates, 1)
@@ -291,6 +302,10 @@ func Run(c *circuit.Circuit, t *sim.Sequence, targets []fault.Fault, detTime []i
 
 	ssp := span.Child("selection")
 	for remaining > 0 {
+		if err := ctxErr(opts.Ctx); err != nil {
+			ssp.End()
+			return nil, err
+		}
 		fIdx := maxDetTime()
 		u := detTime[fIdx]
 		for ls := 1; anyAtTime(u) >= 0; ls++ {
@@ -337,6 +352,10 @@ func Run(c *circuit.Circuit, t *sim.Sequence, targets []fault.Fault, detTime []i
 				maxJ = opts.MaxAssignmentsPerLength
 			}
 			for j := 0; j < maxJ; j++ {
+				if err := ctxErr(opts.Ctx); err != nil {
+					ssp.End()
+					return nil, err
+				}
 				tIdx := anyAtTime(u)
 				if tIdx < 0 {
 					break
@@ -367,6 +386,14 @@ func Run(c *circuit.Circuit, t *sim.Sequence, targets []fault.Fault, detTime []i
 	}
 	ssp.End()
 	return res, nil
+}
+
+// ctxErr returns the cancellation error of a (possibly nil) context.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // faultTimePairs sorts parallel (fault index, detection time) slices by

@@ -6,6 +6,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -63,6 +64,14 @@ type Config struct {
 	// FSIM_KERNEL and defaults to event). Both kernels are bit-identical, so
 	// Kernel — like Workers — is not part of the memoization key.
 	Kernel fsim.Kernel
+	// Ctx, if non-nil, cancels the run: it is threaded through every
+	// pipeline stage down to the fault simulator's worker pool, so a
+	// cancelled or timed-out run stops claiming fault groups and RunPipeline
+	// returns ctx.Err() promptly. Like Telemetry, Ctx is not part of the
+	// memoization key — and since errors (including cancellations) evict
+	// their memo entry, a later identical call recomputes instead of
+	// inheriting the cancellation.
+	Ctx context.Context
 }
 
 func (c Config) withDefaults() Config {
@@ -156,10 +165,13 @@ type Run struct {
 	Metrics []telemetry.PhaseStats
 }
 
-// entry is one memoization slot; the once gives concurrent callers of the
-// same (circuit, configuration) a single-flight computation.
+// entry is one memoization slot: a single-flight computation whose leader
+// closes done after publishing r/err. Unlike a sync.Once, a failed flight is
+// evicted from the cache (see RunCircuit), so a transient error — an I/O
+// hiccup in the load, a cancelled context — never poisons its (circuit,
+// configuration) key for the life of the process.
 type entry struct {
-	once sync.Once
+	done chan struct{} // closed once r/err are published
 	r    *Run
 	err  error
 }
@@ -168,6 +180,9 @@ var (
 	cacheMu sync.Mutex
 	cache   = map[key]*entry{}
 )
+
+// loadCircuit indirects iscas.Load so tests can inject transient failures.
+var loadCircuit = iscas.Load
 
 // InitFor returns the flip-flop initialisation for a suite circuit: unknown
 // (X) for the verbatim s27 as in the raw benchmark, reset-to-0 for the
@@ -179,46 +194,81 @@ func InitFor(name string) logic.V {
 	return logic.Zero
 }
 
+// CanonicalConfig returns the exact configuration RunCircuit executes for a
+// named circuit: per-circuit presets applied and defaults filled. Cache
+// layers (the in-process memo here, the persistent store behind `wbist
+// serve`) key on this canonical form so that a defaulted and an explicit
+// spelling of the same run share one computation and one artifact set.
+func CanonicalConfig(name string, cfg Config) Config {
+	return presetFor(name, cfg).withDefaults()
+}
+
 // RunCircuit executes (or returns the memoized) pipeline for a suite circuit.
 // Concurrent callers with the same (circuit, configuration) share a single
 // computation: the first one runs the pipeline, the rest block on it and
-// receive the same *Run.
+// receive the same *Run. A failed computation is evicted before its error is
+// reported, so the next caller with the same key retries instead of
+// replaying a stale (possibly transient) failure forever.
 func RunCircuit(name string, cfg Config) (*Run, error) {
-	cfg = presetFor(name, cfg).withDefaults()
+	cfg = CanonicalConfig(name, cfg)
 	k := key{name: name, cfg: cfg}
-	// Neither the recorder, the worker count nor the kernel is part of the
-	// identity of a run: all three leave every result bit unchanged.
+	// Neither the recorder, the worker count, the kernel nor the context is
+	// part of the identity of a run: none of them changes any result bit.
 	k.cfg.Telemetry = nil
 	k.cfg.Workers = 0
 	k.cfg.Kernel = 0
+	k.cfg.Ctx = nil
 	cacheMu.Lock()
 	e, ok := cache[k]
 	if !ok {
-		e = &entry{}
+		e = &entry{done: make(chan struct{})}
 		cache[k] = e
 	}
 	cacheMu.Unlock()
 
-	e.once.Do(func() {
-		c, err := iscas.Load(name)
-		if err != nil {
-			e.err = err
-			return
+	if ok {
+		// Joiner: wait for the leader's flight (they share its outcome,
+		// error included — a concurrent joiner is part of the failed flight,
+		// not a retry).
+		<-e.done
+		return e.r, e.err
+	}
+
+	// Leader: compute, publish, and on error evict the entry so a later
+	// identical call recomputes.
+	e.r, e.err = computeRun(name, cfg)
+	if e.err != nil {
+		cacheMu.Lock()
+		if cache[k] == e {
+			delete(cache, k)
 		}
-		r, err := RunPipeline(c, InitFor(name), cfg)
-		if err != nil {
-			e.err = err
-			return
-		}
-		r.Name = name
-		e.r = r
-	})
+		cacheMu.Unlock()
+	}
+	close(e.done)
 	return e.r, e.err
 }
 
-// RunPipeline executes the pipeline on an arbitrary circuit.
+func computeRun(name string, cfg Config) (*Run, error) {
+	c, err := loadCircuit(name)
+	if err != nil {
+		return nil, err
+	}
+	r, err := RunPipeline(c, InitFor(name), cfg)
+	if err != nil {
+		return nil, err
+	}
+	r.Name = name
+	return r, nil
+}
+
+// RunPipeline executes the pipeline on an arbitrary circuit. When cfg.Ctx is
+// cancelled the stages unwind at their next fault-group boundary and the
+// pipeline returns ctx.Err().
 func RunPipeline(c *circuit.Circuit, init logic.V, cfg Config) (*Run, error) {
 	cfg = cfg.withDefaults()
+	if err := ctxErr(cfg.Ctx); err != nil {
+		return nil, err
+	}
 	r := &Run{Name: c.Name, Circuit: c, Config: cfg, Init: init}
 	pipe := cfg.Telemetry.StartSpan("pipeline")
 
@@ -230,7 +280,7 @@ func RunPipeline(c *circuit.Circuit, init logic.V, cfg Config) (*Run, error) {
 		r.T = preset
 		faults := fault.CollapsedUniverse(c)
 		r.TotalFaults = len(faults)
-		out := fsim.Run(c, preset, faults, fsim.Options{Init: init, Workers: cfg.Workers, Kernel: cfg.Kernel})
+		out := fsim.Run(c, preset, faults, fsim.Options{Init: init, Workers: cfg.Workers, Kernel: cfg.Kernel, Ctx: cfg.Ctx})
 		for i := range faults {
 			if out.Detected[i] {
 				r.Targets = append(r.Targets, faults[i])
@@ -248,6 +298,7 @@ func RunPipeline(c *circuit.Circuit, init logic.V, cfg Config) (*Run, error) {
 			Workers:              cfg.Workers,
 			Kernel:               cfg.Kernel,
 			Span:                 pipe,
+			Ctx:                  cfg.Ctx,
 		})
 		r.T = ar.Seq
 		r.TotalFaults = len(ar.Faults)
@@ -257,6 +308,12 @@ func RunPipeline(c *circuit.Circuit, init logic.V, cfg Config) (*Run, error) {
 				r.DetTimes = append(r.DetTimes, ar.DetTime[i])
 			}
 		}
+	}
+
+	// The sequence phase has no error return; surface a cancellation that
+	// truncated it before the partial T feeds the selection.
+	if err := ctxErr(cfg.Ctx); err != nil {
+		return nil, err
 	}
 
 	cr, err := core.Run(c, r.T, r.Targets, r.DetTimes, core.Options{
@@ -270,6 +327,7 @@ func RunPipeline(c *circuit.Circuit, init logic.V, cfg Config) (*Run, error) {
 		Workers:           cfg.Workers,
 		Kernel:            cfg.Kernel,
 		Span:              pipe,
+		Ctx:               cfg.Ctx,
 	})
 	if err != nil {
 		return nil, err
@@ -336,4 +394,12 @@ func ClearCache() {
 	cacheMu.Lock()
 	cache = map[key]*entry{}
 	cacheMu.Unlock()
+}
+
+// ctxErr returns the cancellation error of a (possibly nil) context.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }

@@ -17,6 +17,7 @@
 package fsim
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"sync"
@@ -95,6 +96,15 @@ type Options struct {
 	// outcomes (the differential suite in internal/difftest enforces this),
 	// so the choice only affects speed and telemetry.
 	Kernel Kernel
+	// Ctx, if non-nil, cancels the run at fault-group granularity: the
+	// worker pool (and the sequential loop) checks it before claiming each
+	// group, so a cancelled run stops scheduling new passes and returns its
+	// workers promptly instead of burning through the remaining groups. A
+	// group already in flight finishes its pass — results stay well-formed —
+	// and the outcome is marked Cancelled; the skipped groups are counted on
+	// the fsim.groups_cancelled telemetry counter. A nil Ctx (the default)
+	// never cancels and costs nothing.
+	Ctx context.Context
 	// Trace, if non-nil, receives the run's detection-provenance stream
 	// (see internal/obsv): one event per first detection carrying the fault
 	// index, time unit, detecting primary output, fault group, worker and
@@ -126,6 +136,11 @@ type Outcome struct {
 	// group detected nothing and at least one further group was skipped. A
 	// run whose only group was fully simulated is never marked aborted.
 	Aborted bool
+	// Cancelled reports that Options.Ctx was cancelled before every fault
+	// group had been simulated: Detected/DetTime cover only the groups that
+	// ran, so the outcome is a partial result the caller should discard
+	// (pipeline stages surface ctx.Err() instead of using it).
+	Cancelled bool
 }
 
 // Bitset is a fixed-size bitset over node ids.
@@ -341,6 +356,11 @@ func (s *Simulator) Run(seq *sim.Sequence, faults []fault.Fault, opts Options) *
 	}
 
 	first := 0
+	if ctxDone(opts.Ctx) {
+		out.Cancelled = true
+		telemetry.Add(telemetry.CtrGroupsCancelled, int64(numGroups))
+		return out
+	}
 	if opts.AbortAfterFirstGroupIfNone {
 		// The Section 4.2 effort reduction: the first group (target fault
 		// plus sample) always runs alone, before any fan-out.
@@ -362,6 +382,11 @@ func (s *Simulator) Run(seq *sim.Sequence, faults []fault.Fault, opts Options) *
 	if workers <= 1 {
 		var tb counterBatch
 		for g := first; g < numGroups; g++ {
+			if ctxDone(opts.Ctx) {
+				out.Cancelled = true
+				tb.cancelled += int64(numGroups - g)
+				break
+			}
 			lo := g * GroupSize
 			out.NumDetected += s.runGroup(seq, faults, lo, min(lo+GroupSize, len(faults)), stop, opts, out, &tb)
 		}
@@ -384,6 +409,12 @@ func (s *Simulator) Run(seq *sim.Sequence, faults []fault.Fault, opts Options) *
 			var tb counterBatch
 			defer tb.flush()
 			for {
+				// Checked before claiming, so a cancelled run stops
+				// scheduling passes and this worker goroutine exits (the
+				// "return workers to the pool" half of job cancellation).
+				if ctxDone(opts.Ctx) {
+					return
+				}
 				g := int(cursor.Add(1)) - 1
 				if g >= numGroups {
 					return
@@ -397,7 +428,28 @@ func (s *Simulator) Run(seq *sim.Sequence, faults []fault.Fault, opts Options) *
 	for _, n := range detected[first:] {
 		out.NumDetected += n
 	}
+	// cursor counts claimed groups; every claimed group ran to completion,
+	// so anything short of numGroups was skipped due to cancellation.
+	if ctxDone(opts.Ctx) {
+		if claimed := int(cursor.Load()); claimed < numGroups {
+			out.Cancelled = true
+			telemetry.Add(telemetry.CtrGroupsCancelled, int64(numGroups-claimed))
+		}
+	}
 	return out
+}
+
+// ctxDone reports whether a (possibly nil) context has been cancelled.
+func ctxDone(ctx context.Context) bool {
+	if ctx == nil {
+		return false
+	}
+	select {
+	case <-ctx.Done():
+		return true
+	default:
+		return false
+	}
 }
 
 // counterBatch locally accumulates the hot-path telemetry counters of one
@@ -407,11 +459,11 @@ func (s *Simulator) Run(seq *sim.Sequence, faults []fault.Fault, opts Options) *
 // (skipped holds the rest), so gateEvals+skipped equals the dense total.
 type counterBatch struct {
 	gateEvals, vectors, passes, dropped int64
-	events, skipped, cones              int64
+	events, skipped, cones, cancelled   int64
 }
 
 func (b *counterBatch) flush() {
-	if b.passes == 0 {
+	if b.passes == 0 && b.cancelled == 0 {
 		return
 	}
 	telemetry.Add(telemetry.CtrGateEvals, b.gateEvals)
@@ -421,6 +473,7 @@ func (b *counterBatch) flush() {
 	telemetry.Add(telemetry.CtrEventsScheduled, b.events)
 	telemetry.Add(telemetry.CtrGatesSkipped, b.skipped)
 	telemetry.Add(telemetry.CtrConeHits, b.cones)
+	telemetry.Add(telemetry.CtrGroupsCancelled, b.cancelled)
 	*b = counterBatch{}
 }
 

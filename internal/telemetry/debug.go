@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"fmt"
@@ -12,16 +13,25 @@ import (
 // DebugServer is a running debug/metrics HTTP server started by ServeDebug.
 type DebugServer struct {
 	addr string
+	srv  *http.Server
 	err  chan error
 }
 
 // Addr returns the server's bound address (useful with ":0").
 func (s *DebugServer) Addr() string { return s.addr }
 
-// Err returns a channel that receives the http.Serve error when the server
-// stops (at most one value; the channel is buffered, so nobody has to read
-// it). The server otherwise runs until the process exits.
+// Err returns a channel that receives the serve error when the server stops
+// (at most one value; the channel is buffered, so nobody has to read it).
+// After Shutdown the value is http.ErrServerClosed. The server otherwise
+// runs until the process exits.
 func (s *DebugServer) Err() <-chan error { return s.err }
+
+// Shutdown gracefully stops the server, waiting for in-flight requests
+// until ctx expires (a long-running pprof profile capture is abandoned at
+// the deadline). Err then delivers http.ErrServerClosed.
+func (s *DebugServer) Shutdown(ctx context.Context) error {
+	return s.srv.Shutdown(ctx)
+}
 
 // ServeDebug starts an HTTP server on addr exposing net/http/pprof under
 // /debug/pprof/, expvar plus the hot-path counters ("wbist_counters") under
@@ -45,8 +55,12 @@ func ServeDebug(addr string) (*DebugServer, error) {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/debug/vars", serveVars)
 	mux.HandleFunc("/metrics", serveMetrics)
-	srv := &DebugServer{addr: ln.Addr().String(), err: make(chan error, 1)}
-	go func() { srv.err <- http.Serve(ln, mux) }()
+	srv := &DebugServer{
+		addr: ln.Addr().String(),
+		srv:  &http.Server{Handler: mux},
+		err:  make(chan error, 1),
+	}
+	go func() { srv.err <- srv.srv.Serve(ln) }()
 	return srv, nil
 }
 

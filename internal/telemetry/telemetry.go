@@ -45,6 +45,10 @@ const (
 	// fault group's union fanout cone (events outside the cone propagate
 	// fault-free value changes only).
 	CtrConeHits
+	// CtrGroupsCancelled counts fault groups skipped because the run's
+	// context was cancelled (the observable footprint of job cancellation:
+	// workers stopped claiming these groups).
+	CtrGroupsCancelled
 
 	// NumCounters is the number of defined counters.
 	NumCounters
@@ -60,6 +64,7 @@ var counterNames = [NumCounters]string{
 	CtrEventsScheduled: "fsim.events_scheduled",
 	CtrGatesSkipped:    "fsim.gates_skipped",
 	CtrConeHits:        "fsim.cone_hits",
+	CtrGroupsCancelled: "fsim.groups_cancelled",
 }
 
 // Name returns the exported name of a counter.

@@ -89,7 +89,7 @@ type row struct {
 	metric  string
 	base    string
 	fresh   string
-	status  string // "ok", "FAIL", "info", "slow", "fast"
+	status  string // "ok", "FAIL", "info", "slow (Nx)", "fast (Nx)"
 }
 
 func main() {
@@ -168,16 +168,21 @@ func info(rows []row, circuit, metric string, base, fresh int64) []row {
 	return append(rows, row{circuit, metric, fmt.Sprint(base), fmt.Sprint(fresh), "info"})
 }
 
-// wall emits an advisory wall-clock row flagged outside ±tol.
+// wall emits an advisory wall-clock row flagged outside ±tol. A zero or
+// missing baseline entry carries no timing signal: the ratio would be
+// Inf/NaN, so the row is marked "info" with a "-" baseline instead of
+// silently passing as "ok".
 func wall(rows []row, circuit, metric string, base, fresh int64, tol float64) []row {
+	if base <= 0 {
+		return append(rows, row{circuit, metric, "-",
+			fmt.Sprintf("%.1fms", float64(fresh)/1e6), "info"})
+	}
 	st := "ok"
-	if base > 0 {
-		switch r := float64(fresh) / float64(base); {
-		case r > 1+tol:
-			st = "slow"
-		case r < 1/(1+tol):
-			st = "fast"
-		}
+	switch r := float64(fresh) / float64(base); {
+	case r > 1+tol:
+		st = fmt.Sprintf("slow (%.2fx)", r)
+	case r < 1/(1+tol):
+		st = fmt.Sprintf("fast (%.2fx)", r)
 	}
 	return append(rows, row{circuit, metric,
 		fmt.Sprintf("%.1fms", float64(base)/1e6),
@@ -289,11 +294,11 @@ func render(w io.Writer, basePath, freshPath string, rows []row) int {
 	failed := 0
 	for _, r := range rows {
 		marker := " "
-		switch r.status {
-		case "FAIL":
+		switch {
+		case r.status == "FAIL":
 			failed++
 			marker = "!"
-		case "slow", "fast":
+		case strings.HasPrefix(r.status, "slow"), strings.HasPrefix(r.status, "fast"):
 			marker = "~"
 		}
 		fmt.Fprintf(w, "%s %-8s %-28s base=%-14s fresh=%-14s %s\n",
@@ -315,8 +320,10 @@ func appendMarkdown(path, mode, basePath string, rows []row) error {
 	ok := 0
 	var flagged []row
 	for _, r := range rows {
-		switch r.status {
-		case "FAIL", "slow", "fast":
+		switch {
+		case r.status == "FAIL",
+			strings.HasPrefix(r.status, "slow"),
+			strings.HasPrefix(r.status, "fast"):
 			flagged = append(flagged, r)
 		default:
 			ok++

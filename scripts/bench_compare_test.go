@@ -61,7 +61,7 @@ func TestComparePipelineExactAndAdvisory(t *testing.T) {
 	if r := byMetric["s298/fsim.vectors"]; r.status != "FAIL" {
 		t.Errorf("diverged vectors row = %+v", r)
 	}
-	if r := byMetric["s298/wall"]; r.status != "slow" {
+	if r := byMetric["s298/wall"]; !strings.HasPrefix(r.status, "slow") {
 		t.Errorf("3x wall row = %+v", r)
 	}
 	if r := byMetric["s298/wall pipeline/atpg"]; r.status != "ok" {
@@ -146,7 +146,7 @@ func TestCompareKernel(t *testing.T) {
 	if r := byMetric["event.gate_evals"]; r.status != "info" {
 		t.Errorf("event split row gated: %+v", r)
 	}
-	if r := byMetric["event.wall"]; r.status != "fast" {
+	if r := byMetric["event.wall"]; !strings.HasPrefix(r.status, "fast") {
 		t.Errorf("10x-faster wall row = %+v", r)
 	}
 	if r := byMetric["dense.wall"]; r.status != "ok" {
@@ -201,13 +201,19 @@ func TestWallStatus(t *testing.T) {
 	}{
 		{1000, 1000, "ok"},
 		{1000, 1499, "ok"},
-		{1000, 1501, "slow"},
-		{1000, 600, "fast"},
-		{0, 5, "ok"}, // no baseline signal
+		{1000, 1501, "slow (1.50x)"},
+		{1000, 600, "fast (0.60x)"},
+		{0, 5, "info"},  // zero baseline: no ratio, advisory row
+		{-1, 5, "info"}, // negative (corrupt) baseline: likewise
 	} {
 		rows := wall(nil, "c", "wall", tc.base, tc.fresh, 0.5)
 		if got := rows[0].status; got != tc.want {
 			t.Errorf("wall(%d, %d) = %q, want %q", tc.base, tc.fresh, got, tc.want)
 		}
+	}
+	// The zero-baseline row renders "-" rather than a fake "0.0ms".
+	rows := wall(nil, "c", "wall", 0, 5e6, 0.5)
+	if rows[0].base != "-" || rows[0].fresh != "5.0ms" {
+		t.Errorf("zero-baseline row = %+v", rows[0])
 	}
 }

@@ -42,7 +42,9 @@ import (
 	"repro/internal/rcg"
 	"repro/internal/ref"
 	"repro/internal/scoap"
+	"repro/internal/serve"
 	"repro/internal/sim"
+	"repro/internal/store"
 	"repro/internal/telemetry"
 	"repro/internal/verilog"
 	"repro/internal/wgen"
@@ -374,3 +376,33 @@ func ReferenceSimulate(c *Circuit, seq *Sequence, faults []Fault, init Value) (d
 	out := ref.Run(c, seq, faults, ref.Options{Init: init})
 	return out.Detected, out.DetTime
 }
+
+// ArtifactStore is a content-addressed, persistent cache of compiled BIST
+// artifacts, keyed by canonical netlist bytes plus the identity-relevant
+// configuration fields (see internal/store).
+type ArtifactStore = store.Store
+
+// OpenStore creates (if needed) and opens an artifact store rooted at dir.
+func OpenStore(dir string) (*ArtifactStore, error) { return store.Open(dir) }
+
+// StoreKey computes the content address of a compilation from the raw
+// .bench netlist, the flip-flop initialisation and a canonical
+// configuration (CanonicalConfig).
+func StoreKey(netlist []byte, init Value, cfg Config) (string, error) {
+	return store.Key(netlist, init, cfg)
+}
+
+// CanonicalConfig resolves a configuration into the canonical form both
+// cache layers key on: per-circuit presets applied, defaults filled.
+func CanonicalConfig(name string, cfg Config) Config { return expt.CanonicalConfig(name, cfg) }
+
+// JobServer is the HTTP/JSON BIST-compilation service (wbist serve): job
+// submission, progress streaming, cancellation and artifact fetch over a
+// shared ArtifactStore.
+type JobServer = serve.Server
+
+// ServeOptions configure a JobServer.
+type ServeOptions = serve.Options
+
+// NewJobServer builds the job service over an artifact store.
+func NewJobServer(opts ServeOptions) (*JobServer, error) { return serve.New(opts) }
