@@ -8,9 +8,11 @@
 # variant (one small circuit, parallel workers); `make bench-parallel` writes
 # the BENCH_parallel.json comparison entry against the committed sequential
 # baseline; `make bench-kernel` refreshes the BENCH_event.json dense-vs-event
-# kernel comparison; `make bench-check` measures a fresh smoke benchmark and
-# gates its deterministic work counters against all three committed BENCH
-# baselines (wall-clock is advisory; see scripts/bench_compare.go);
+# kernel comparison; `make bench-slab` refreshes the BENCH_slab.json
+# dense-vs-event-vs-slab comparison on near-full fault universes; `make
+# bench-check` measures a fresh smoke benchmark and gates its deterministic
+# work counters against all four committed BENCH baselines (wall-clock is
+# advisory; see scripts/bench_compare.go);
 # `make serve-smoke` drives `wbist serve` end to end over HTTP (submit, poll,
 # cache-hit resubmit, SIGTERM drain; see scripts/serve_smoke.sh).
 
@@ -18,10 +20,10 @@ GO ?= go
 
 # The differential fuzz targets of internal/difftest (see README
 # "Correctness tooling"). FUZZTIME bounds each target's smoke run.
-FUZZ_TARGETS = FuzzRefVsFsim FuzzEventVsDense FuzzFaultFreeVsSim FuzzWgenVsExpansion FuzzBenchRoundTrip
+FUZZ_TARGETS = FuzzRefVsFsim FuzzEventVsDense FuzzSlabVsDense FuzzFaultFreeVsSim FuzzWgenVsExpansion FuzzBenchRoundTrip
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet fuzz-smoke cover cover-gate bench-json bench-smoke bench-parallel bench-kernel bench-check serve-smoke
+.PHONY: all build test race vet fuzz-smoke cover cover-gate bench-json bench-smoke bench-parallel bench-kernel bench-slab bench-check serve-smoke
 
 all: build test race vet
 
@@ -62,6 +64,9 @@ bench-parallel: build
 bench-kernel: build
 	$(GO) run ./cmd/experiments kernelbench
 
+bench-slab: build
+	$(GO) run ./cmd/experiments slabbench
+
 serve-smoke: build
 	./scripts/serve_smoke.sh
 
@@ -71,3 +76,5 @@ bench-check: build
 	$(GO) run ./scripts/bench_compare.go -mode pipeline -baseline BENCH_parallel.json -fresh /tmp/wbist_bench_fresh.json
 	$(GO) run ./cmd/experiments -circuits s27,s298 -kernel-json /tmp/wbist_kernel_fresh.json kernelbench
 	$(GO) run ./scripts/bench_compare.go -mode kernel -baseline BENCH_event.json -fresh /tmp/wbist_kernel_fresh.json
+	$(GO) run ./cmd/experiments -circuits s27,s298 -slab-json /tmp/wbist_slab_fresh.json slabbench
+	$(GO) run ./scripts/bench_compare.go -mode slab -baseline BENCH_slab.json -fresh /tmp/wbist_slab_fresh.json

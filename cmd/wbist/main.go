@@ -34,9 +34,11 @@
 //
 // Common flags (before the subcommand): -lg, -seed, -random, -misr, -workers
 // (fault-simulation worker goroutines, default GOMAXPROCS; results are
-// bit-identical for any value), -kernel <auto|event|dense> (fault-simulation
-// gate-evaluation kernel; "auto" honors FSIM_KERNEL and defaults to the
-// event-driven kernel, results are bit-identical either way), plus the
+// bit-identical for any value), -kernel <auto|event|dense|slab>
+// (fault-simulation gate-evaluation kernel; "auto" honors FSIM_KERNEL and
+// defaults to the event-driven kernel, results are bit-identical for every
+// kernel), -slab-lanes N (the slab kernel's fault-group batch width W; 0
+// picks W adaptively from the netlist size), plus the
 // observability flags -metrics <file> (JSON-lines span export), -progress
 // (per-phase progress on stderr) and -pprof <addr> (pprof/expvar server,
 // with Prometheus text exposition under /metrics).
@@ -62,15 +64,16 @@ import (
 )
 
 var (
-	flagLG       = flag.Int("lg", 0, "per-assignment sequence length L_G (0 = paper default 2000)")
-	flagSeed     = flag.Uint64("seed", 1, "master random seed")
-	flagRandom   = flag.Int("random", 0, "pseudo-random LFSR windows before weight selection")
-	flagMISR     = flag.Int("misr", 16, "MISR width for the selftest subcommand")
-	flagWorkers  = flag.Int("workers", runtime.GOMAXPROCS(0), "fault-simulation worker goroutines (results are identical for any value)")
-	flagKernel   = flag.String("kernel", "auto", "fault-simulation kernel: auto, event or dense (results are identical for any value)")
-	flagMetrics  = flag.String("metrics", "", "write telemetry span events to this file as JSON lines")
-	flagProgress = flag.Bool("progress", false, "print per-phase progress to stderr")
-	flagPprof    = flag.String("pprof", "", "serve net/http/pprof, expvar and Prometheus /metrics on this address")
+	flagLG        = flag.Int("lg", 0, "per-assignment sequence length L_G (0 = paper default 2000)")
+	flagSeed      = flag.Uint64("seed", 1, "master random seed")
+	flagRandom    = flag.Int("random", 0, "pseudo-random LFSR windows before weight selection")
+	flagMISR      = flag.Int("misr", 16, "MISR width for the selftest subcommand")
+	flagWorkers   = flag.Int("workers", runtime.GOMAXPROCS(0), "fault-simulation worker goroutines (results are identical for any value)")
+	flagKernel    = flag.String("kernel", "auto", "fault-simulation kernel: auto, event, dense or slab (results are identical for any value)")
+	flagSlabLanes = flag.Int("slab-lanes", 0, "slab kernel fault-group batch width W (0 = adaptive; results are identical for any value)")
+	flagMetrics   = flag.String("metrics", "", "write telemetry span events to this file as JSON lines")
+	flagProgress  = flag.Bool("progress", false, "print per-phase progress to stderr")
+	flagPprof     = flag.String("pprof", "", "serve net/http/pprof, expvar and Prometheus /metrics on this address")
 )
 
 func usage() {
@@ -115,7 +118,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "wbist:", err)
 		os.Exit(2)
 	}
-	cfg := wbist.Config{LG: *flagLG, Seed: *flagSeed, RandomWindows: *flagRandom, Workers: *flagWorkers, Kernel: kernel}
+	cfg := wbist.Config{LG: *flagLG, Seed: *flagSeed, RandomWindows: *flagRandom, Workers: *flagWorkers, Kernel: kernel, SlabLanes: *flagSlabLanes}
 	cfg.Ctx = ctx
 	rec, finish, err := setupTelemetry(args[0])
 	if err != nil {
@@ -197,6 +200,7 @@ func cmdServe(ctx context.Context, args []string, cfg wbist.Config) error {
 		QueueDepth:    *queue,
 		Workers:       cfg.Workers,
 		Kernel:        cfg.Kernel,
+		SlabLanes:     cfg.SlabLanes,
 	})
 	if err != nil {
 		return err

@@ -65,10 +65,14 @@ type Options struct {
 	// Workers is the fault-simulation worker count handed to fsim (0 or 1 =
 	// sequential). The generated sequence is bit-identical for any value.
 	Workers int
-	// Kernel selects the fsim gate-evaluation kernel (dense or event-driven;
-	// the zero value honors FSIM_KERNEL and defaults to event). The
-	// generated sequence is bit-identical for either kernel.
+	// Kernel selects the fsim gate-evaluation kernel (dense, event-driven or
+	// slab; the zero value honors FSIM_KERNEL and defaults to event). The
+	// generated sequence is bit-identical for every kernel.
 	Kernel fsim.Kernel
+	// SlabLanes is the slab kernel's fault-group batch width W (0 = pick
+	// adaptively; ignored by the other kernels). The generated sequence is
+	// bit-identical for any value.
+	SlabLanes int
 	// Span, when non-nil, is the parent telemetry span under which the
 	// generator records its phases ("atpg" with one child per phase).
 	Span *telemetry.Span
@@ -160,7 +164,7 @@ func Generate(c *circuit.Circuit, opts Options) *Result {
 	// Phase 1: one long random sequence, truncated after the last detection.
 	p1 := span.Child("random")
 	seq := sim.RandomSequence(rng, c.NumInputs(), opts.RandomLen)
-	out := s.Run(seq, faults, fsim.Options{Init: opts.Init, Workers: opts.Workers, Kernel: opts.Kernel, Ctx: opts.Ctx})
+	out := s.Run(seq, faults, fsim.Options{Init: opts.Init, Workers: opts.Workers, Kernel: opts.Kernel, SlabLanes: opts.SlabLanes, Ctx: opts.Ctx})
 	last := -1
 	for i := range faults {
 		if out.Detected[i] && out.DetTime[i] > last {
@@ -186,7 +190,7 @@ func Generate(c *circuit.Circuit, opts Options) *Result {
 	for len(remaining) > 0 && accepted < opts.MaxAccepts && budget > 0 && !ctxDone(opts.Ctx) {
 		// The remaining faults are undetected by seq, so this pass detects
 		// nothing and exists purely to capture the end-of-prefix states.
-		base := s.Run(seq, remaining, fsim.Options{Init: opts.Init, SaveStates: true, Workers: opts.Workers, Kernel: opts.Kernel, Ctx: opts.Ctx})
+		base := s.Run(seq, remaining, fsim.Options{Init: opts.Init, SaveStates: true, Workers: opts.Workers, Kernel: opts.Kernel, SlabLanes: opts.SlabLanes, Ctx: opts.Ctx})
 		if base.Cancelled {
 			break // partial FinalStates are unusable; caller discards the run
 		}
@@ -201,6 +205,7 @@ func Generate(c *circuit.Circuit, opts Options) *Result {
 				TimeOffset:    seq.Len(),
 				Workers:       opts.Workers,
 				Kernel:        opts.Kernel,
+				SlabLanes:     opts.SlabLanes,
 			})
 			if o.NumDetected > 0 {
 				seq.Concat(cand)
@@ -243,7 +248,7 @@ func Generate(c *circuit.Circuit, opts Options) *Result {
 }
 
 func rerun(s *fsim.Simulator, seq *sim.Sequence, faults []fault.Fault, opts Options) *fsim.Outcome {
-	return s.Run(seq, faults, fsim.Options{Init: opts.Init, Workers: opts.Workers, Kernel: opts.Kernel, Ctx: opts.Ctx})
+	return s.Run(seq, faults, fsim.Options{Init: opts.Init, Workers: opts.Workers, Kernel: opts.Kernel, SlabLanes: opts.SlabLanes, Ctx: opts.Ctx})
 }
 
 // ctxDone reports whether a (possibly nil) context has been cancelled.

@@ -126,6 +126,79 @@ func TestDifferentialDenseVsEvent(t *testing.T) {
 		triples, multiGroup, observed, saved, split, stopped)
 }
 
+// TestDifferentialDenseVsSlab is the acceptance gate of the slab kernel:
+// over ≥1000 random triples the slab kernel must reproduce the dense kernel
+// bit for bit — Detected, DetTime, Lines (ObserveLines axis), FinalStates
+// (SaveStates axis) — across Workers ∈ {1, 4, 8} × SlabLanes ∈ {1, 2, 8}
+// plus the adaptive width, including StopTime truncation, arena re-strides
+// and event-kernel interleavings on one reused simulator, and split
+// InitialStates/TimeOffset continuation replays.
+func TestDifferentialDenseVsSlab(t *testing.T) {
+	triples := 1000
+	if testing.Short() {
+		triples = 150
+	}
+	var multiGroup, multiBatch, observed, saved, split, stopped int
+	for i := 0; i < triples; i++ {
+		seed := uint64(i) + 0x51ab5 // distinct circuits from the other sweeps
+		c := rcg.FromSeed(seed)
+		rng := randutil.New(seed ^ 0xd1f7e57).Split()
+		seq := RandomStimulus(rng, c.NumInputs())
+		faults := SampleFaults(rng, fault.CollapsedUniverse(c))
+		cfg := ConfigFromSeed(rng.Uint64(), seq.Len())
+		if len(faults) > fsim.GroupSize {
+			multiGroup++
+		}
+		if len(faults) > 2*fsim.GroupSize {
+			multiBatch++ // more groups than the smallest tested W: real batching
+		}
+		if cfg.ObserveLines {
+			observed++
+		}
+		if cfg.SaveStates {
+			saved++
+		}
+		if cfg.SplitContinuation && cfg.StopTime == 0 && seq.Len() >= 2 {
+			split++
+		}
+		if cfg.StopTime > 0 {
+			stopped++
+		}
+		if err := CheckSlab(c, seq, faults, cfg); err != nil {
+			t.Fatalf("triple %d: %v\n%s", i, err, Describe(c, seq, faults, cfg))
+		}
+	}
+	if multiGroup == 0 || multiBatch == 0 || observed == 0 || saved == 0 || split == 0 || stopped == 0 {
+		t.Fatalf("sweep too narrow: multiGroup=%d multiBatch=%d observe=%d saveStates=%d split=%d stopTime=%d",
+			multiGroup, multiBatch, observed, saved, split, stopped)
+	}
+	t.Logf("%d triples: %d multi-group, %d multi-batch, %d with line observation, %d with state compare, %d split replays, %d truncated",
+		triples, multiGroup, multiBatch, observed, saved, split, stopped)
+}
+
+// TestDifferentialSlabSuiteCircuits repeats the dense-vs-slab check on the
+// real experiment circuits with the full collapsed fault universe and every
+// differential axis on at once (the suites' fault universes span multiple
+// groups, so every tested W produces genuine multi-lane batches).
+func TestDifferentialSlabSuiteCircuits(t *testing.T) {
+	names := []string{"s27", "s298", "s344"}
+	if testing.Short() {
+		names = names[:2]
+	}
+	for _, name := range names {
+		c := iscas.MustLoad(name)
+		rng := randutil.New(0x51ab ^ uint64(len(name)))
+		faults := fault.CollapsedUniverse(c)
+		for k, init := range []logic.V{logic.Zero, logic.X} {
+			seq := sim.RandomSequence(rng, c.NumInputs(), 24)
+			cfg := Config{Init: init, SaveStates: true, SplitContinuation: true, ObserveLines: true}
+			if err := CheckSlab(c, seq, faults, cfg); err != nil {
+				t.Fatalf("%s (init case %d): %v\n%s", name, k, err, Describe(c, seq, faults, cfg))
+			}
+		}
+	}
+}
+
 // TestDifferentialKernelsSuiteCircuits repeats the dense-vs-event check on
 // the real experiment circuits with the full collapsed fault universe and
 // every differential axis on at once.

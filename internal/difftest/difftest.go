@@ -266,9 +266,79 @@ func CheckKernels(c *circuit.Circuit, seq *sim.Sequence, faults []fault.Fault, c
 	return nil
 }
 
+// CheckSlab is the dense-vs-slab differential check for one triple: the
+// sequential dense outcome is the baseline and the slab kernel must
+// reproduce it bit for bit — Detected, DetTime, NumDetected, Lines (when
+// cfg.ObserveLines), FinalStates (when cfg.SaveStates) — across
+// Workers ∈ {1, 4, 8} × SlabLanes ∈ {1, 2, 8} (multi-group batches,
+// including tail batches narrower than W), under the adaptive W selection
+// (SlabLanes=0), across slab runs of different widths on one reused
+// simulator (the arena re-stride path) interleaved with an event run (the
+// arena-independence path: the slab never touches the event kernel's value
+// snapshot), and through a split InitialStates/TimeOffset continuation
+// replay with both halves on the slab kernel.
+func CheckSlab(c *circuit.Circuit, seq *sim.Sequence, faults []fault.Fault, cfg Config) error {
+	opts := func(k fsim.Kernel, workers, lanes int) fsim.Options {
+		return fsim.Options{
+			Init: cfg.Init, StopTime: cfg.StopTime, SaveStates: cfg.SaveStates,
+			ObserveLines: cfg.ObserveLines, Workers: workers, Kernel: k,
+			SlabLanes: lanes,
+		}
+	}
+	want := fsim.Run(c, seq, faults, opts(fsim.KernelDense, 1, 0))
+	for _, workers := range []int{1, 4, 8} {
+		for _, lanes := range []int{1, 2, 8} {
+			got := fsim.Run(c, seq, faults, opts(fsim.KernelSlab, workers, lanes))
+			if err := sameFsimOutcome(want, got); err != nil {
+				return fmt.Errorf("dense vs slab(Workers=%d, W=%d): %w", workers, lanes, err)
+			}
+		}
+	}
+	if err := sameFsimOutcome(want, fsim.Run(c, seq, faults, opts(fsim.KernelSlab, 1, 0))); err != nil {
+		return fmt.Errorf("dense vs slab(adaptive W): %w", err)
+	}
+	// One reused simulator: the arena re-strides between widths, an event
+	// run in the middle must warm-start unharmed (the slab kernel leaves the
+	// event snapshot untouched), and the slab must still match afterwards.
+	s := fsim.New(c)
+	for round, lanes := range []int{2, 8, 2} {
+		got := s.Run(seq, faults, opts(fsim.KernelSlab, 1, lanes))
+		if err := sameFsimOutcome(want, got); err != nil {
+			return fmt.Errorf("reused simulator, slab round %d (W=%d): %w", round, lanes, err)
+		}
+	}
+	if err := sameFsimOutcome(want, s.Run(seq, faults, opts(fsim.KernelEvent, 1, 0))); err != nil {
+		return fmt.Errorf("reused simulator, event after slab: %w", err)
+	}
+	if err := sameFsimOutcome(want, s.Run(seq, faults, opts(fsim.KernelSlab, 1, 4))); err != nil {
+		return fmt.Errorf("reused simulator, slab after event: %w", err)
+	}
+	if cfg.SplitContinuation && cfg.StopTime == 0 && seq.Len() >= 2 && len(faults) > 0 {
+		split := seq.Len() / 2
+		pre := fsim.Run(c, seq.Slice(0, split), faults, fsim.Options{
+			Init: cfg.Init, SaveStates: true, Kernel: fsim.KernelSlab, SlabLanes: 2,
+		})
+		cont := fsim.Run(c, seq.Slice(split, seq.Len()), faults, fsim.Options{
+			Init: cfg.Init, InitialStates: pre.FinalStates, TimeOffset: split,
+			Kernel: fsim.KernelSlab, SlabLanes: 2,
+		})
+		for i := range faults {
+			det, detTime := pre.Detected[i], pre.DetTime[i]
+			if !det && cont.Detected[i] {
+				det, detTime = true, cont.DetTime[i]
+			}
+			if det != want.Detected[i] || (det && detTime != want.DetTime[i]) {
+				return fmt.Errorf("slab split continuation, fault %d (%s): merged detected=%v t=%d, dense detected=%v t=%d",
+					i, faults[i].String(c), det, detTime, want.Detected[i], want.DetTime[i])
+			}
+		}
+	}
+	return nil
+}
+
 // CheckTrace demands the detection-provenance trace (fsim.Options.Trace) be
-// byte-identical in its canonical form across both kernels and Workers ∈
-// {1, 4, 8}, and consistent with the (equally bit-identical) outcome: one
+// byte-identical in its canonical form across all three kernels and Workers
+// ∈ {1, 4, 8}, and consistent with the (equally bit-identical) outcome: one
 // event per detected fault. This is the determinism contract of
 // obsv.Trace.CanonicalBytes — worker and kernel are annotations only.
 func CheckTrace(c *circuit.Circuit, seq *sim.Sequence, faults []fault.Fault, cfg Config) error {
@@ -285,7 +355,7 @@ func CheckTrace(c *circuit.Circuit, seq *sim.Sequence, faults []fault.Fault, cfg
 	if n := refTrace.NumDetections(); n != refOut.NumDetected {
 		return fmt.Errorf("trace has %d detection events, outcome detected %d", n, refOut.NumDetected)
 	}
-	for _, k := range []fsim.Kernel{fsim.KernelDense, fsim.KernelEvent} {
+	for _, k := range []fsim.Kernel{fsim.KernelDense, fsim.KernelEvent, fsim.KernelSlab} {
 		for _, workers := range []int{1, 4, 8} {
 			if k == fsim.KernelDense && workers == 1 {
 				continue // the reference run above

@@ -61,6 +61,29 @@ func FuzzEventVsDense(f *testing.F) {
 	})
 }
 
+// FuzzSlabVsDense is the slab-kernel differential target: for an arbitrary
+// decoded triple, the multi-group slab kernel must reproduce the dense
+// kernel bit for bit — Detected, DetTime, Lines, FinalStates — across
+// Workers ∈ {1, 4, 8} × SlabLanes ∈ {1, 2, 8} plus the adaptive width,
+// across re-strided and event-interleaved runs on one reused simulator, and
+// through a split InitialStates/TimeOffset continuation replay.
+func FuzzSlabVsDense(f *testing.F) {
+	f.Add(uint64(1), uint64(2), uint64(3))
+	f.Add(uint64(42), uint64(0), uint64(7))
+	f.Add(uint64(9001), uint64(17), uint64(5))
+	f.Fuzz(func(t *testing.T, circSeed, stimSeed, cfgSeed uint64) {
+		c := rcg.FromSeed(circSeed)
+		rng := randutil.New(stimSeed)
+		seq := RandomStimulus(rng, c.NumInputs())
+		faults := SampleFaults(rng, fault.CollapsedUniverse(c))
+		cfg := ConfigFromSeed(cfgSeed, seq.Len())
+		if err := CheckSlab(c, seq, faults, cfg); err != nil {
+			t.Fatalf("circSeed=%d stimSeed=%d cfgSeed=%d: %v\n%s",
+				circSeed, stimSeed, cfgSeed, err, Describe(c, seq, faults, cfg))
+		}
+	})
+}
+
 // FuzzFaultFreeVsSim cross-checks fsim's fault-free slot against the scalar
 // logic simulator on random circuits and stimuli (including X inputs and X
 // initialisation).

@@ -60,10 +60,14 @@ type Config struct {
 	// Workers — like Telemetry — is not part of the memoization key.
 	Workers int
 	// Kernel selects the fsim gate-evaluation kernel threaded through every
-	// pipeline stage (dense or event-driven; the zero value honors
-	// FSIM_KERNEL and defaults to event). Both kernels are bit-identical, so
+	// pipeline stage (dense, event-driven or slab; the zero value honors
+	// FSIM_KERNEL and defaults to event). All kernels are bit-identical, so
 	// Kernel — like Workers — is not part of the memoization key.
 	Kernel fsim.Kernel
+	// SlabLanes is the slab kernel's fault-group batch width W (0 = pick
+	// adaptively; ignored by the other kernels). Like Workers it never
+	// changes the outcome, so it is not part of the memoization key.
+	SlabLanes int
 	// Ctx, if non-nil, cancels the run: it is threaded through every
 	// pipeline stage down to the fault simulator's worker pool, so a
 	// cancelled or timed-out run stops claiming fault groups and RunPipeline
@@ -212,11 +216,13 @@ func CanonicalConfig(name string, cfg Config) Config {
 func RunCircuit(name string, cfg Config) (*Run, error) {
 	cfg = CanonicalConfig(name, cfg)
 	k := key{name: name, cfg: cfg}
-	// Neither the recorder, the worker count, the kernel nor the context is
-	// part of the identity of a run: none of them changes any result bit.
+	// Neither the recorder, the worker count, the kernel (and its slab lane
+	// width) nor the context is part of the identity of a run: none of them
+	// changes any result bit.
 	k.cfg.Telemetry = nil
 	k.cfg.Workers = 0
 	k.cfg.Kernel = 0
+	k.cfg.SlabLanes = 0
 	k.cfg.Ctx = nil
 	cacheMu.Lock()
 	e, ok := cache[k]
@@ -280,7 +286,7 @@ func RunPipeline(c *circuit.Circuit, init logic.V, cfg Config) (*Run, error) {
 		r.T = preset
 		faults := fault.CollapsedUniverse(c)
 		r.TotalFaults = len(faults)
-		out := fsim.Run(c, preset, faults, fsim.Options{Init: init, Workers: cfg.Workers, Kernel: cfg.Kernel, Ctx: cfg.Ctx})
+		out := fsim.Run(c, preset, faults, fsim.Options{Init: init, Workers: cfg.Workers, Kernel: cfg.Kernel, SlabLanes: cfg.SlabLanes, Ctx: cfg.Ctx})
 		for i := range faults {
 			if out.Detected[i] {
 				r.Targets = append(r.Targets, faults[i])
@@ -297,6 +303,7 @@ func RunPipeline(c *circuit.Circuit, init logic.V, cfg Config) (*Run, error) {
 			NoDeterministicPhase: cfg.ATPGNoPodem,
 			Workers:              cfg.Workers,
 			Kernel:               cfg.Kernel,
+			SlabLanes:            cfg.SlabLanes,
 			Span:                 pipe,
 			Ctx:                  cfg.Ctx,
 		})
@@ -326,6 +333,7 @@ func RunPipeline(c *circuit.Circuit, init logic.V, cfg Config) (*Run, error) {
 		NoMatchOrdering:   cfg.NoMatchOrdering,
 		Workers:           cfg.Workers,
 		Kernel:            cfg.Kernel,
+		SlabLanes:         cfg.SlabLanes,
 		Span:              pipe,
 		Ctx:               cfg.Ctx,
 	})

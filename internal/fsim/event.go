@@ -16,8 +16,8 @@ type Kernel uint8
 
 const (
 	// KernelAuto resolves to the kernel named by the FSIM_KERNEL environment
-	// variable ("event" or "dense"), or to KernelEvent when it is unset or
-	// unparsable. It is the zero value, so callers that leave Options.Kernel
+	// variable ("event", "dense" or "slab"), or to KernelEvent when it is
+	// unset or unparsable. It is the zero value, so callers that leave Options.Kernel
 	// alone get the event kernel (and CI can steer the whole test suite
 	// through either kernel without touching any call site).
 	KernelAuto Kernel = iota
@@ -28,9 +28,15 @@ const (
 	// netlist is evaluated on every time unit. It is the reference the
 	// event kernel is differentially locked against.
 	KernelDense
+	// KernelSlab is the multi-group slab kernel: up to Options.SlabLanes
+	// fault groups are simulated per pass, with per-gate state held in a
+	// contiguous gate-major slab so one levelized walk advances
+	// lanes×64 machines from hot cache lines (see slab.go). Like the event
+	// kernel it is bit-identical to dense by construction.
+	KernelSlab
 )
 
-// String returns "auto", "event" or "dense".
+// String returns "auto", "event", "dense" or "slab".
 func (k Kernel) String() string {
 	switch k {
 	case KernelAuto:
@@ -39,6 +45,8 @@ func (k Kernel) String() string {
 		return "event"
 	case KernelDense:
 		return "dense"
+	case KernelSlab:
+		return "slab"
 	default:
 		return fmt.Sprintf("Kernel(%d)", uint8(k))
 	}
@@ -54,8 +62,10 @@ func ParseKernel(s string) (Kernel, error) {
 		return KernelEvent, nil
 	case "dense":
 		return KernelDense, nil
+	case "slab":
+		return KernelSlab, nil
 	default:
-		return KernelAuto, fmt.Errorf("fsim: unknown kernel %q (want event or dense)", s)
+		return KernelAuto, fmt.Errorf("fsim: unknown kernel %q (want event, dense or slab)", s)
 	}
 }
 
@@ -469,7 +479,7 @@ func (s *Simulator) runGroupEvent(seq *sim.Sequence, faults []fault.Fault, lo, h
 
 	units := 0
 	det := 0
-	var evals int64
+	var evals, sweeps int64
 
 	state := s.next
 	if opts.InitialStates != nil {
@@ -534,6 +544,7 @@ func (s *Simulator) runGroupEvent(seq *sim.Sequence, faults []fault.Fault, lo, h
 			// thereafter.
 			probe := cold || es.sweepAge&7 == 0
 			es.sweepAge++
+			sweeps++
 			chg := s.sweepEval(probe)
 			evals += int64(len(s.gateID))
 			if probe {
@@ -672,5 +683,6 @@ func (s *Simulator) runGroupEvent(seq *sim.Sequence, faults []fault.Fault, lo, h
 	tb.events += es.scheduled
 	tb.skipped += int64(units)*int64(len(s.gateID)) - evals
 	tb.cones += es.coneHits
+	tb.sweepFB += sweeps
 	return det
 }

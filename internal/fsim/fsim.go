@@ -92,10 +92,18 @@ type Options struct {
 	Workers int
 	// Kernel selects the gate-evaluation strategy. The zero value
 	// (KernelAuto) honors the FSIM_KERNEL environment variable and defaults
-	// to the event-driven kernel; both kernels produce bit-identical
+	// to the event-driven kernel; all kernels produce bit-identical
 	// outcomes (the differential suite in internal/difftest enforces this),
 	// so the choice only affects speed and telemetry.
 	Kernel Kernel
+	// SlabLanes is the number of fault groups the slab kernel batches into
+	// one multi-group pass (W in the slab layout: W×64 machines per gate
+	// visit). 0 picks W adaptively from the netlist size against an L2
+	// cache budget; any positive value is used as-is (clamped to the number
+	// of groups actually available per batch). Ignored by the dense and
+	// event kernels. Like Workers, it never changes the outcome — only how
+	// the identical result is computed.
+	SlabLanes int
 	// Ctx, if non-nil, cancels the run at fault-group granularity: the
 	// worker pool (and the sequential loop) checks it before claiming each
 	// group, so a cancelled run stops scheduling new passes and returns its
@@ -207,6 +215,12 @@ type Simulator struct {
 	// ev is the event kernel's mutable per-simulator state (worklists,
 	// cone marks, value-snapshot bookkeeping), allocated on first use.
 	ev *eventState
+	// slab is the slab kernel's scratch arena (multi-group value/state/
+	// injection slabs, per-lane bookkeeping), allocated on first use and
+	// reused across batches and runs. The slab kernel never touches vals or
+	// the per-group injection tables above, so an event-kernel value
+	// snapshot survives interleaved slab runs.
+	slab *slabState
 	// event-kernel injection bookkeeping: the stem-fault nodes of the
 	// current group (for targeted clearing), the gate fault sites (worklist
 	// seeds) and every injected site (union-cone roots). stemFlag[id] != 0
@@ -361,6 +375,12 @@ func (s *Simulator) Run(seq *sim.Sequence, faults []fault.Fault, opts Options) *
 		telemetry.Add(telemetry.CtrGroupsCancelled, int64(numGroups))
 		return out
 	}
+	if opts.Kernel == KernelSlab {
+		// The slab kernel shards batches-of-W instead of single groups; its
+		// dispatch (including the abort-first-group path) lives in runSlab.
+		s.runSlab(seq, faults, numGroups, stop, opts, out)
+		return out
+	}
 	if opts.AbortAfterFirstGroupIfNone {
 		// The Section 4.2 effort reduction: the first group (target fault
 		// plus sample) always runs alone, before any fan-out.
@@ -460,6 +480,7 @@ func ctxDone(ctx context.Context) bool {
 type counterBatch struct {
 	gateEvals, vectors, passes, dropped int64
 	events, skipped, cones, cancelled   int64
+	sweepFB, slabPasses, lanesIdle      int64
 }
 
 func (b *counterBatch) flush() {
@@ -474,6 +495,9 @@ func (b *counterBatch) flush() {
 	telemetry.Add(telemetry.CtrGatesSkipped, b.skipped)
 	telemetry.Add(telemetry.CtrConeHits, b.cones)
 	telemetry.Add(telemetry.CtrGroupsCancelled, b.cancelled)
+	telemetry.Add(telemetry.CtrSweepFallbacks, b.sweepFB)
+	telemetry.Add(telemetry.CtrSlabPasses, b.slabPasses)
+	telemetry.Add(telemetry.CtrSlabLanesIdle, b.lanesIdle)
 	*b = counterBatch{}
 }
 

@@ -85,7 +85,7 @@ func TestGoldenOutcomes(t *testing.T) {
 			ref := fsim.Run(c, tc.seq, faults, fsim.Options{
 				Init: tc.init, Workers: 1, Kernel: fsim.KernelDense,
 			})
-			for _, kernel := range []fsim.Kernel{fsim.KernelDense, fsim.KernelEvent} {
+			for _, kernel := range []fsim.Kernel{fsim.KernelDense, fsim.KernelEvent, fsim.KernelSlab} {
 				for _, workers := range []int{1, 4} {
 					out := fsim.Run(c, tc.seq, faults, fsim.Options{
 						Init: tc.init, Workers: workers, Kernel: kernel,
@@ -94,6 +94,18 @@ func TestGoldenOutcomes(t *testing.T) {
 						!reflect.DeepEqual(out.DetTime, ref.DetTime) {
 						t.Fatalf("kernel=%v workers=%d: outcome differs from dense sequential run", kernel, workers)
 					}
+				}
+			}
+			// The slab kernel's lane width is outcome-invariant; pin the
+			// golden record across explicit widths too (1 = degenerate
+			// single-group batches, 2/8 = multi-group with tail batches).
+			for _, lanes := range []int{1, 2, 8} {
+				out := fsim.Run(c, tc.seq, faults, fsim.Options{
+					Init: tc.init, Workers: 1, Kernel: fsim.KernelSlab, SlabLanes: lanes,
+				})
+				if !reflect.DeepEqual(out.Detected, ref.Detected) ||
+					!reflect.DeepEqual(out.DetTime, ref.DetTime) {
+					t.Fatalf("slab W=%d: outcome differs from dense sequential run", lanes)
 				}
 			}
 

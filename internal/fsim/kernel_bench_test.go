@@ -58,6 +58,7 @@ func runKernelBenchmark(b *testing.B, k fsim.Kernel) {
 			s := fsim.New(c)
 			opts := fsim.Options{Init: logic.Zero, Workers: 1, Kernel: k}
 			s.Run(seq, faults, opts) // warm up caches and pools
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				s.Run(seq, faults, opts)
@@ -68,3 +69,42 @@ func runKernelBenchmark(b *testing.B, k fsim.Kernel) {
 
 func BenchmarkKernelDense(b *testing.B) { runKernelBenchmark(b, fsim.KernelDense) }
 func BenchmarkKernelEvent(b *testing.B) { runKernelBenchmark(b, fsim.KernelEvent) }
+func BenchmarkKernelSlab(b *testing.B)  { runKernelBenchmark(b, fsim.KernelSlab) }
+
+// BenchmarkKernelSlabColdArena is the arena's control experiment: it forces
+// the slab arena to be rebuilt on every run by alternating the lane width
+// (slabFor reallocates whenever the stride changes), so allocs/op here is
+// what every batch would pay without arena reuse. Compare with
+// BenchmarkKernelSlab, whose warm arena allocates nothing per run beyond the
+// outcome itself.
+func BenchmarkKernelSlabColdArena(b *testing.B) {
+	for _, tc := range kernelBenchCases {
+		b.Run(tc.name, func(b *testing.B) {
+			c := tc.load()
+			rng := randutil.New(0xbe7c4)
+			subs := make([]string, c.NumInputs())
+			lengths := []int{1, 1, 1, 2, 2, 4, 8}
+			for i := range subs {
+				bs := make([]byte, lengths[rng.Intn(len(lengths))])
+				for j := range bs {
+					bs[j] = '0' + byte(rng.Intn(2))
+				}
+				subs[i] = string(bs)
+			}
+			seq := core.Assignment{Subs: subs}.GenSequence(512)
+			faults := fault.CollapsedUniverse(c)
+			if len(faults) > 2*fsim.GroupSize {
+				faults = faults[:2*fsim.GroupSize]
+			}
+			s := fsim.New(c)
+			opts := fsim.Options{Init: logic.Zero, Workers: 1, Kernel: fsim.KernelSlab}
+			s.Run(seq, faults, opts)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				opts.SlabLanes = 1 + i%2 // stride change → full arena rebuild
+				s.Run(seq, faults, opts)
+			}
+		})
+	}
+}

@@ -69,6 +69,9 @@ type Options struct {
 	Workers int
 	// Kernel selects the fsim gate-evaluation kernel for all jobs.
 	Kernel fsim.Kernel
+	// SlabLanes is the slab kernel's fault-group batch width W for all jobs
+	// (0 = pick adaptively; ignored by the other kernels).
+	SlabLanes int
 }
 
 func (o Options) withDefaults() Options {
@@ -474,6 +477,7 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 		cfg.Ctx = ctx
 		cfg.Workers = s.opts.Workers
 		cfg.Kernel = s.opts.Kernel
+		cfg.SlabLanes = s.opts.SlabLanes
 		cfg.Telemetry = telemetry.New(jobSink{j})
 		r, err := expt.RunPipeline(j.circuit, j.init, cfg)
 		if err != nil {

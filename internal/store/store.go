@@ -66,7 +66,7 @@ var (
 		"LG", "Seed", "ATPGRandomLen", "ATPGNoCompaction", "ATPGNoPodem",
 		"RandomWindows", "NoSampleFirst", "NoForceFullLength", "NoMatchOrdering",
 	}
-	excludedFields = []string{"Telemetry", "Workers", "Kernel", "Ctx"}
+	excludedFields = []string{"Telemetry", "Workers", "Kernel", "SlabLanes", "Ctx"}
 )
 
 // Key computes the content address of a compilation: cfg must already be in

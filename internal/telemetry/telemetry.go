@@ -49,6 +49,19 @@ const (
 	// context was cancelled (the observable footprint of job cancellation:
 	// workers stopped claiming these groups).
 	CtrGroupsCancelled
+	// CtrSweepFallbacks counts time units the event-driven kernel simulated
+	// in its full-sweep fallback mode instead of draining the worklist
+	// (cold-start sweeps included). A run whose sweep_fallbacks approaches
+	// its vectors never left sweep mode — the "events_scheduled=0" rows of
+	// the kernel benchmarks are this fallback, now visible in metrics.
+	CtrSweepFallbacks
+	// CtrSlabPasses counts multi-group slab passes of the slab kernel (one
+	// per batch of up to SlabLanes fault groups walked in a single pass).
+	CtrSlabPasses
+	// CtrSlabLanesIdle counts idle lane-cycles of the slab kernel: time
+	// units a lane kept being evaluated after its own fault group had
+	// already fully detected (the batch runs until every lane is done).
+	CtrSlabLanesIdle
 
 	// NumCounters is the number of defined counters.
 	NumCounters
@@ -65,6 +78,9 @@ var counterNames = [NumCounters]string{
 	CtrGatesSkipped:    "fsim.gates_skipped",
 	CtrConeHits:        "fsim.cone_hits",
 	CtrGroupsCancelled: "fsim.groups_cancelled",
+	CtrSweepFallbacks:  "fsim.sweep_fallbacks",
+	CtrSlabPasses:      "fsim.slab_passes",
+	CtrSlabLanesIdle:   "fsim.slab_lanes_idle",
 }
 
 // Name returns the exported name of a counter.

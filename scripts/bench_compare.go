@@ -3,10 +3,11 @@
 // counters. It is the teeth behind `make bench-check` and the advisory
 // bench-regression CI job.
 //
-// Two baseline schemas are supported, selected by -mode:
+// Three baseline schemas are supported, selected by -mode:
 //
 //	pipeline  wbist-bench-pipeline/v1 (BENCH_pipeline.json, BENCH_parallel.json)
 //	kernel    wbist-bench-kernel/v1   (BENCH_event.json)
+//	slab      wbist-bench-slab/v1     (BENCH_slab.json)
 //
 // Only circuits present in both files are compared, so a cheap smoke run
 // (-circuits s298) can be checked against the full committed trajectory.
@@ -69,6 +70,26 @@ type kernelCircuit struct {
 	Event   kernelStats `json:"event"`
 }
 
+type slabKernelStats struct {
+	WallNS       int64 `json:"wall_ns"`
+	GateEvals    int64 `json:"gate_evals"`
+	AllocsPerRun int64 `json:"allocs_per_run"`
+}
+
+type slabCircuit struct {
+	Circuit string          `json:"circuit"`
+	Faults  int             `json:"faults"`
+	Groups  int             `json:"groups"`
+	Vectors int64           `json:"vectors"`
+	Dense   slabKernelStats `json:"dense"`
+	Event   slabKernelStats `json:"event"`
+	Slab    struct {
+		slabKernelStats
+		SlabPasses int64 `json:"slab_passes"`
+		LanesIdle  int64 `json:"lanes_idle"`
+	} `json:"slab"`
+}
+
 type benchFile struct {
 	Schema   string          `json:"schema"`
 	Circuits json.RawMessage `json:"circuits"`
@@ -111,8 +132,10 @@ func main() {
 		rows, err = comparePipeline(*baseline, *fresh, *wallTol)
 	case "kernel":
 		rows, err = compareKernel(*baseline, *fresh, *wallTol)
+	case "slab":
+		rows, err = compareSlab(*baseline, *fresh, *wallTol)
 	default:
-		err = fmt.Errorf("unknown -mode %q (want pipeline or kernel)", *mode)
+		err = fmt.Errorf("unknown -mode %q (want pipeline, kernel or slab)", *mode)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bench_compare: %v\n", err)
@@ -281,6 +304,57 @@ func compareKernel(basePath, freshPath string, tol float64) ([]row, error) {
 		rows = info(rows, f.Circuit, "event.cone_hits", b.Event.ConeHits, f.Event.ConeHits)
 		rows = wall(rows, f.Circuit, "dense.wall", b.Dense.WallNS, f.Dense.WallNS, tol)
 		rows = wall(rows, f.Circuit, "event.wall", b.Event.WallNS, f.Event.WallNS, tol)
+	}
+	if matched == 0 {
+		return nil, fmt.Errorf("no circuits of %s appear in %s", freshPath, basePath)
+	}
+	return rows, nil
+}
+
+func compareSlab(basePath, freshPath string, tol float64) ([]row, error) {
+	var base, fresh []slabCircuit
+	schema, err := load(basePath, &base)
+	if err != nil {
+		return nil, err
+	}
+	if err := wantSchema(basePath, schema, "wbist-bench-slab/v1"); err != nil {
+		return nil, err
+	}
+	if schema, err = load(freshPath, &fresh); err != nil {
+		return nil, err
+	}
+	if err := wantSchema(freshPath, schema, "wbist-bench-slab/v1"); err != nil {
+		return nil, err
+	}
+	byName := map[string]slabCircuit{}
+	for _, c := range base {
+		byName[c.Circuit] = c
+	}
+	var rows []row
+	matched := 0
+	for _, f := range fresh {
+		// The slab kernel counts dense-equivalent evals (lane-cycles ×
+		// gates), so slab.gate_evals must equal dense.gate_evals within one
+		// measurement — a deterministic invariant gated on the fresh file
+		// alone, before any baseline comparison.
+		rows = exact(rows, f.Circuit, "slab.gate_evals (vs dense)",
+			f.Dense.GateEvals, f.Slab.GateEvals)
+		b, ok := byName[f.Circuit]
+		if !ok {
+			rows = append(rows, row{f.Circuit, "(not in baseline)", "-", "-", "info"})
+			continue
+		}
+		matched++
+		rows = exact(rows, f.Circuit, "vectors", b.Vectors, f.Vectors)
+		rows = exact(rows, f.Circuit, "faults", int64(b.Faults), int64(f.Faults))
+		rows = exact(rows, f.Circuit, "groups", int64(b.Groups), int64(f.Groups))
+		rows = exact(rows, f.Circuit, "dense.gate_evals", b.Dense.GateEvals, f.Dense.GateEvals)
+		rows = info(rows, f.Circuit, "slab.slab_passes", b.Slab.SlabPasses, f.Slab.SlabPasses)
+		rows = info(rows, f.Circuit, "slab.lanes_idle", b.Slab.LanesIdle, f.Slab.LanesIdle)
+		rows = info(rows, f.Circuit, "slab.allocs_per_run", b.Slab.AllocsPerRun, f.Slab.AllocsPerRun)
+		rows = wall(rows, f.Circuit, "dense.wall", b.Dense.WallNS, f.Dense.WallNS, tol)
+		rows = wall(rows, f.Circuit, "event.wall", b.Event.WallNS, f.Event.WallNS, tol)
+		rows = wall(rows, f.Circuit, "slab.wall", b.Slab.WallNS, f.Slab.WallNS, tol)
 	}
 	if matched == 0 {
 		return nil, fmt.Errorf("no circuits of %s appear in %s", freshPath, basePath)
