@@ -10,20 +10,25 @@
 # baseline; `make bench-kernel` refreshes the BENCH_event.json dense-vs-event
 # kernel comparison; `make bench-slab` refreshes the BENCH_slab.json
 # dense-vs-event-vs-slab comparison on near-full fault universes; `make
-# bench-check` measures a fresh smoke benchmark and gates its deterministic
-# work counters against all four committed BENCH baselines (wall-clock is
-# advisory; see scripts/bench_compare.go);
+# bench-shard` refreshes the BENCH_shard.json in-process-vs-sharded
+# comparison; `make bench-check` measures a fresh smoke benchmark and gates
+# its deterministic work counters against all five committed BENCH baselines
+# (wall-clock is advisory; see scripts/bench_compare.go);
 # `make serve-smoke` drives `wbist serve` end to end over HTTP (submit, poll,
-# cache-hit resubmit, SIGTERM drain; see scripts/serve_smoke.sh).
+# cache-hit resubmit, SIGTERM drain; see scripts/serve_smoke.sh); `make
+# shard-smoke` byte-compares a crash-injected multi-process pipeline run
+# against the in-process baseline (see scripts/shard_smoke.sh); `make
+# shell-test` unit-tests the shared shell polling helper
+# (scripts/poll_test.sh).
 
 GO ?= go
 
 # The differential fuzz targets of internal/difftest (see README
 # "Correctness tooling"). FUZZTIME bounds each target's smoke run.
-FUZZ_TARGETS = FuzzRefVsFsim FuzzEventVsDense FuzzSlabVsDense FuzzFaultFreeVsSim FuzzWgenVsExpansion FuzzBenchRoundTrip
+FUZZ_TARGETS = FuzzRefVsFsim FuzzEventVsDense FuzzSlabVsDense FuzzShardVsDense FuzzFaultFreeVsSim FuzzWgenVsExpansion FuzzBenchRoundTrip
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet fuzz-smoke cover cover-gate bench-json bench-smoke bench-parallel bench-kernel bench-slab bench-check serve-smoke
+.PHONY: all build test race vet fuzz-smoke cover cover-gate bench-json bench-smoke bench-parallel bench-kernel bench-slab bench-shard bench-check serve-smoke shard-smoke shell-test
 
 all: build test race vet
 
@@ -67,8 +72,17 @@ bench-kernel: build
 bench-slab: build
 	$(GO) run ./cmd/experiments slabbench
 
+bench-shard: build
+	$(GO) run ./cmd/experiments shardbench
+
 serve-smoke: build
 	./scripts/serve_smoke.sh
+
+shard-smoke: build
+	./scripts/shard_smoke.sh
+
+shell-test:
+	./scripts/poll_test.sh
 
 bench-check: build
 	$(GO) run ./cmd/experiments -circuits s298 -bench-json /tmp/wbist_bench_fresh.json bench
@@ -78,3 +92,5 @@ bench-check: build
 	$(GO) run ./scripts/bench_compare.go -mode kernel -baseline BENCH_event.json -fresh /tmp/wbist_kernel_fresh.json
 	$(GO) run ./cmd/experiments -circuits s27,s298 -slab-json /tmp/wbist_slab_fresh.json slabbench
 	$(GO) run ./scripts/bench_compare.go -mode slab -baseline BENCH_slab.json -fresh /tmp/wbist_slab_fresh.json
+	$(GO) run ./cmd/experiments -circuits s298 -shard-json /tmp/wbist_shard_fresh.json shardbench
+	$(GO) run ./scripts/bench_compare.go -mode shard -baseline BENCH_shard.json -fresh /tmp/wbist_shard_fresh.json

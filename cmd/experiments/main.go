@@ -4,8 +4,9 @@
 //	experiments [-skip-large] [-lg N] [-seed N] [-workers N] [section ...]
 //
 // Sections: table1 table2 table3 table4 table5 table6 obs figure1 baselines
-// random selftest bench kernelbench slabbench (default: all but bench,
-// kernelbench and slabbench). -skip-large omits s5378 and s35932 from table6
+// random selftest bench kernelbench slabbench shardbench (default: all but
+// bench, kernelbench, slabbench and shardbench). -skip-large omits s5378 and
+// s35932 from table6
 // and s5378 from the observation-point tables. -workers shards fault
 // simulation over N goroutines (default GOMAXPROCS; every result is
 // bit-identical for any value) and -kernel selects the fault-simulation
@@ -18,8 +19,11 @@
 // (weighted-sequence re-simulation) and writes the comparison to -kernel-json
 // (the BENCH_event.json baseline); the slabbench section adds the slab kernel
 // and near-full fault universes — where multi-group batching pays off — and
-// writes -slab-json (the BENCH_slab.json baseline; `make bench-check` diffs
-// fresh smokes of all of them against the committed baselines). -progress
+// writes -slab-json (the BENCH_slab.json baseline); the shardbench section
+// runs the same workload in-process versus sharded over -shard-procs worker
+// subprocesses and writes -shard-json (the BENCH_shard.json baseline;
+// `make bench-check` diffs fresh smokes of all of them against the committed
+// baselines). -progress
 // streams per-phase telemetry to
 // stderr, -metrics exports completed spans as JSON lines, and -pprof serves
 // pprof, expvar and the Prometheus /metrics exposition while the run lasts.
@@ -55,6 +59,8 @@ var (
 	flagBenchJSON  = flag.String("bench-json", "BENCH_pipeline.json", "output file of the bench section")
 	flagKernelJSON = flag.String("kernel-json", "BENCH_event.json", "output file of the kernelbench section")
 	flagSlabJSON   = flag.String("slab-json", "BENCH_slab.json", "output file of the slabbench section")
+	flagShardProcs = flag.Int("shard-procs", 0, "shard eligible fault-simulation runs over N worker subprocesses (results are identical for any value)")
+	flagShardJSON  = flag.String("shard-json", "BENCH_shard.json", "output file of the shardbench section")
 	flagCircuits   = flag.String("circuits", "", "comma-separated circuit filter for the bench section (empty = all Table 6 circuits)")
 	flagProgress   = flag.Bool("progress", false, "print per-phase telemetry progress to stderr")
 	flagMetrics    = flag.String("metrics", "", "write telemetry span events to this file as JSON lines")
@@ -62,6 +68,7 @@ var (
 )
 
 func main() {
+	wbist.MaybeShardWorker()
 	flag.Parse()
 	sections := flag.Args()
 	if len(sections) == 0 {
@@ -86,7 +93,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(2)
 	}
-	cfg := wbist.Config{LG: *flagLG, Seed: *flagSeed, Workers: *flagWorkers, Kernel: kernel, SlabLanes: *flagSlabLanes}
+	cfg := wbist.Config{LG: *flagLG, Seed: *flagSeed, Workers: *flagWorkers, Kernel: kernel, SlabLanes: *flagSlabLanes, ShardProcs: *flagShardProcs}
 	closeMetrics := func() error { return nil }
 	if *flagMetrics != "" {
 		f, err := os.Create(*flagMetrics)
@@ -141,6 +148,8 @@ func main() {
 			err = kernelBench(cfg)
 		case "slabbench":
 			err = slabBench(cfg)
+		case "shardbench":
+			err = shardBench(cfg)
 		default:
 			err = fmt.Errorf("unknown section %q", s)
 		}
@@ -920,6 +929,201 @@ func slabBench(cfg wbist.Config) error {
 		return err
 	}
 	fmt.Printf("slabbench: wrote %d circuit(s) to %s\n", len(out.Circuits), *flagSlabJSON)
+	return nil
+}
+
+// shardBench runs the slab benchmark's workload (weighted stimulus, full
+// collapsed fault universe) in-process and sharded over worker subprocesses,
+// and writes the BENCH_shard.json comparison. Sharding is an execution
+// policy, not an identity change: every row must report the identical
+// detection count and identical deterministic simulation counters
+// (gate_evals, vectors, group_passes), which this section verifies before
+// writing the file and `bench_compare -mode shard` re-verifies against the
+// committed baseline. The kernel is pinned to dense: it is the one kernel
+// whose raw gate_evals counter is partition-invariant (the event kernel's
+// split between gate_evals and gates_skipped shifts with per-run warm-start
+// state, so only their sum is invariant), and the point here is the
+// coordinator, not the kernel. Wall numbers carry the per-run process
+// fan-out cost
+// (spawn + netlist re-parse + result framing) and are advisory — on a
+// single-core runner the sharded rows are expected to be slower, the point
+// of the baseline being the overhead trajectory, not a speedup claim.
+func shardBench(cfg wbist.Config) error {
+	type shardStats struct {
+		// Procs is the worker subprocess count; 0 is the in-process
+		// reference row every other row must match bit for bit.
+		Procs  int   `json:"procs"`
+		WallNS int64 `json:"wall_ns"`
+		// Deterministic counters: identical across rows by construction.
+		GateEvals   int64 `json:"gate_evals"`
+		Vectors     int64 `json:"vectors"`
+		GroupPasses int64 `json:"group_passes"`
+		// Shard lifecycle counters (zero for the in-process row; a healthy
+		// bench run reassigns nothing and loses no workers).
+		RangesDispatched int64 `json:"ranges_dispatched"`
+		RangesReassigned int64 `json:"ranges_reassigned"`
+		WorkersLost      int64 `json:"workers_lost"`
+	}
+	type circuitBench struct {
+		Circuit string `json:"circuit"`
+		Gates   int    `json:"gates"`
+		Faults  int    `json:"faults"`
+		Groups  int    `json:"groups"`
+		// Detected is the detection count shared by every row (verified).
+		Detected int          `json:"detected"`
+		Rows     []shardStats `json:"rows"`
+		// OverheadVsInProcess is sharded wall / in-process wall per sharded
+		// row, in row order (advisory, like every wall number).
+		OverheadVsInProcess []float64 `json:"overhead_vs_in_process"`
+	}
+	type benchFile struct {
+		Schema   string         `json:"schema"`
+		Config   map[string]any `json:"config"`
+		Circuits []circuitBench `json:"circuits"`
+	}
+	lg := cfg.LG
+	if lg == 0 {
+		lg = 1000
+	}
+	const maxGroups = 64
+	procRows := []int{0, 2, 4}
+	out := benchFile{
+		Schema: "wbist-bench-shard/v1",
+		Config: map[string]any{
+			"lg": lg, "seed": cfg.Seed, "workers": 1,
+			"max_fault_groups": maxGroups, "proc_rows": procRows,
+		},
+	}
+	only := map[string]bool{}
+	if *flagCircuits != "" {
+		for _, name := range strings.Split(*flagCircuits, ",") {
+			only[strings.TrimSpace(name)] = true
+		}
+	}
+	for _, name := range wbist.Table6Names() {
+		if *flagSkipLarge && (name == "s5378" || name == "s35932") {
+			continue
+		}
+		if len(only) > 0 && !only[name] {
+			continue
+		}
+		c, err := wbist.LoadCircuit(name)
+		if err != nil {
+			return err
+		}
+		faults := wbist.Faults(c)
+		if len(faults) > maxGroups*63 {
+			faults = faults[:maxGroups*63]
+		}
+		groups := (len(faults) + 62) / 63
+		seq := weightedWorkload(c.NumInputs(), cfg.Seed, lg)
+		init := expt.InitFor(name)
+
+		s := fsim.New(c)
+		optsFor := func(procs int) fsim.Options {
+			return fsim.Options{Init: init, Workers: 1, Kernel: fsim.KernelDense,
+				ShardProcs: procs}
+		}
+		// One calibration pass per row collects the (deterministic) counters
+		// and the detection count; the timed repetitions are then
+		// interleaved so clock or load drift hits every row equally, and
+		// each keeps its fastest repetition. Process rows pay their full
+		// fan-out cost on every repetition — workers do not persist between
+		// runs, so there is nothing to warm beyond the OS caches.
+		calibrate := func(procs int) (shardStats, int, int64) {
+			opts := optsFor(procs)
+			s.Run(seq, faults, opts) // warm-up run, untimed
+			before := wbist.Counters()
+			t0 := time.Now()
+			o := s.Run(seq, faults, opts)
+			wall := time.Since(t0).Nanoseconds()
+			d := wbist.Counters().Sub(before).Map()
+			st := shardStats{
+				Procs:            procs,
+				WallNS:           wall,
+				GateEvals:        d["fsim.gate_evals"],
+				Vectors:          d["fsim.vectors"],
+				GroupPasses:      d["fsim.group_passes"],
+				RangesDispatched: d["shard.ranges_dispatched"],
+				RangesReassigned: d["shard.ranges_reassigned"],
+				WorkersLost:      d["shard.workers_lost"],
+			}
+			iters := int64(1)
+			if wall > 0 && wall < 8e6 {
+				iters = 8e6/wall + 1
+			}
+			return st, o.NumDetected, iters
+		}
+		timed := func(procs int, iters int64) int64 {
+			opts := optsFor(procs)
+			t0 := time.Now()
+			for i := int64(0); i < iters; i++ {
+				s.Run(seq, faults, opts)
+			}
+			return time.Since(t0).Nanoseconds() / iters
+		}
+		var rows []shardStats
+		var iterCounts []int64
+		det := -1
+		for _, procs := range procRows {
+			st, rowDet, iters := calibrate(procs)
+			if det == -1 {
+				det = rowDet
+			} else if rowDet != det {
+				return fmt.Errorf("shardbench: %s: %d procs detected %d faults, in-process detected %d (sharding must be bit-identical)",
+					name, procs, rowDet, det)
+			}
+			rows = append(rows, st)
+			iterCounts = append(iterCounts, iters)
+		}
+		for rep := 0; rep < 3; rep++ {
+			for i, procs := range procRows {
+				if w := timed(procs, iterCounts[i]); w < rows[i].WallNS {
+					rows[i].WallNS = w
+				}
+			}
+		}
+		for i := 1; i < len(rows); i++ {
+			if rows[i].GateEvals != rows[0].GateEvals ||
+				rows[i].Vectors != rows[0].Vectors ||
+				rows[i].GroupPasses != rows[0].GroupPasses {
+				return fmt.Errorf("shardbench: %s: deterministic counters diverge between %d procs and in-process",
+					name, rows[i].Procs)
+			}
+		}
+		cb := circuitBench{
+			Circuit:  name,
+			Gates:    c.NumGates(),
+			Faults:   len(faults),
+			Groups:   groups,
+			Detected: det,
+			Rows:     rows,
+		}
+		for i := 1; i < len(rows); i++ {
+			ratio := 0.0
+			if rows[0].WallNS > 0 {
+				ratio = float64(rows[i].WallNS) / float64(rows[0].WallNS)
+			}
+			cb.OverheadVsInProcess = append(cb.OverheadVsInProcess, ratio)
+		}
+		out.Circuits = append(out.Circuits, cb)
+		fmt.Fprintf(os.Stderr, "shardbench: %s det %d, overhead %v\n",
+			name, det, cb.OverheadVsInProcess)
+	}
+	f, err := os.Create(*flagShardJSON)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("shardbench: wrote %d circuit(s) to %s\n", len(out.Circuits), *flagShardJSON)
 	return nil
 }
 

@@ -1,0 +1,110 @@
+package difftest
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/iscas"
+	"repro/internal/logic"
+	"repro/internal/randutil"
+	"repro/internal/rcg"
+	"repro/internal/shard"
+	"repro/internal/sim"
+)
+
+// TestMain gates the test binary: the shard coordinator re-execs the current
+// executable as a worker, so when this binary is spawned with the worker
+// marker it must enter the protocol loop instead of running the tests.
+func TestMain(m *testing.M) {
+	shard.MaybeWorker()
+	os.Exit(m.Run())
+}
+
+// TestDifferentialShardSuiteCircuits runs the sharded-vs-in-process check on
+// the real experiment circuits with the full collapsed fault universe (all
+// span multiple fault groups, so ShardProcs>1 genuinely fans out) under both
+// initialisations, with final-state comparison and StopTime truncation.
+func TestDifferentialShardSuiteCircuits(t *testing.T) {
+	names := []string{"s27", "s298", "s344"}
+	if testing.Short() {
+		names = names[:2]
+	}
+	for _, name := range names {
+		c := iscas.MustLoad(name)
+		rng := randutil.New(0x5a4d ^ uint64(len(name)))
+		faults := fault.CollapsedUniverse(c)
+		for k, cfg := range []Config{
+			{Init: logic.Zero, SaveStates: true},
+			{Init: logic.X, StopTime: 11},
+		} {
+			seq := sim.RandomSequence(rng, c.NumInputs(), 24)
+			if err := CheckShard(c, seq, faults, cfg); err != nil {
+				t.Fatalf("%s (case %d): %v\n%s", name, k, err, Describe(c, seq, faults, cfg))
+			}
+		}
+	}
+}
+
+// TestDifferentialShardRandom is the acceptance gate of the multi-process
+// coordinator: over 200 random (circuit, fault set, sequence) triples the
+// sharded runs (ShardProcs ∈ {1, 2, 4}) must reproduce the in-process
+// outcome bit for bit, and multi-group triples must genuinely dispatch
+// ranges to subprocesses. The sweep is smaller than the in-process ones —
+// every multi-group triple costs real fork/exec fan-out — but must still
+// cover multi-group lists, state comparison and truncation.
+func TestDifferentialShardRandom(t *testing.T) {
+	triples := 200
+	if testing.Short() {
+		triples = 25
+	}
+	var multiGroup, saved, stopped int
+	for i := 0; i < triples; i++ {
+		seed := uint64(i) + 0x5a4dd // distinct circuits from the other sweeps
+		c := rcg.FromSeed(seed)
+		rng := randutil.New(seed ^ 0xd1f7e57).Split()
+		seq := RandomStimulus(rng, c.NumInputs())
+		faults := SampleFaults(rng, fault.CollapsedUniverse(c))
+		cfg := ConfigFromSeed(rng.Uint64(), seq.Len())
+		if len(faults) > fsim.GroupSize {
+			multiGroup++
+		}
+		if cfg.SaveStates {
+			saved++
+		}
+		if cfg.StopTime > 0 {
+			stopped++
+		}
+		if err := CheckShard(c, seq, faults, cfg); err != nil {
+			t.Fatalf("triple %d: %v\n%s", i, err, Describe(c, seq, faults, cfg))
+		}
+	}
+	if multiGroup == 0 || saved == 0 || stopped == 0 {
+		t.Fatalf("sweep too narrow: multiGroup=%d saveStates=%d stopTime=%d",
+			multiGroup, saved, stopped)
+	}
+	t.Logf("%d triples: %d multi-group, %d with state compare, %d truncated",
+		triples, multiGroup, saved, stopped)
+}
+
+// FuzzShardVsDense is the multi-process differential target: for an
+// arbitrary decoded triple, runs sharded over worker subprocesses must
+// reproduce the in-process dense outcome bit for bit, and single-group or
+// unshardable runs must stay in-process.
+func FuzzShardVsDense(f *testing.F) {
+	f.Add(uint64(1), uint64(2), uint64(3))
+	f.Add(uint64(42), uint64(0), uint64(7))
+	f.Add(uint64(9001), uint64(17), uint64(5))
+	f.Fuzz(func(t *testing.T, circSeed, stimSeed, cfgSeed uint64) {
+		c := rcg.FromSeed(circSeed)
+		rng := randutil.New(stimSeed)
+		seq := RandomStimulus(rng, c.NumInputs())
+		faults := SampleFaults(rng, fault.CollapsedUniverse(c))
+		cfg := ConfigFromSeed(cfgSeed, seq.Len())
+		if err := CheckShard(c, seq, faults, cfg); err != nil {
+			t.Fatalf("circSeed=%d stimSeed=%d cfgSeed=%d: %v\n%s",
+				circSeed, stimSeed, cfgSeed, err, Describe(c, seq, faults, cfg))
+		}
+	})
+}

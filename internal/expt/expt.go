@@ -18,6 +18,7 @@ import (
 	"repro/internal/iscas"
 	"repro/internal/logic"
 	"repro/internal/obs"
+	_ "repro/internal/shard" // installs the fsim multi-process shard runner
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/wgen"
@@ -68,6 +69,12 @@ type Config struct {
 	// adaptively; ignored by the other kernels). Like Workers it never
 	// changes the outcome, so it is not part of the memoization key.
 	SlabLanes int
+	// ShardProcs, when > 1, shards eligible fault-simulation runs over
+	// that many worker subprocesses (internal/shard, imported below, which
+	// installs the fsim runner). Like Workers it is an execution policy
+	// with a bit-identical outcome, so it is not part of the memoization
+	// key.
+	ShardProcs int
 	// Ctx, if non-nil, cancels the run: it is threaded through every
 	// pipeline stage down to the fault simulator's worker pool, so a
 	// cancelled or timed-out run stops claiming fault groups and RunPipeline
@@ -223,6 +230,7 @@ func RunCircuit(name string, cfg Config) (*Run, error) {
 	k.cfg.Workers = 0
 	k.cfg.Kernel = 0
 	k.cfg.SlabLanes = 0
+	k.cfg.ShardProcs = 0
 	k.cfg.Ctx = nil
 	cacheMu.Lock()
 	e, ok := cache[k]
@@ -286,7 +294,7 @@ func RunPipeline(c *circuit.Circuit, init logic.V, cfg Config) (*Run, error) {
 		r.T = preset
 		faults := fault.CollapsedUniverse(c)
 		r.TotalFaults = len(faults)
-		out := fsim.Run(c, preset, faults, fsim.Options{Init: init, Workers: cfg.Workers, Kernel: cfg.Kernel, SlabLanes: cfg.SlabLanes, Ctx: cfg.Ctx})
+		out := fsim.Run(c, preset, faults, fsim.Options{Init: init, Workers: cfg.Workers, Kernel: cfg.Kernel, SlabLanes: cfg.SlabLanes, ShardProcs: cfg.ShardProcs, Ctx: cfg.Ctx})
 		for i := range faults {
 			if out.Detected[i] {
 				r.Targets = append(r.Targets, faults[i])
@@ -304,6 +312,7 @@ func RunPipeline(c *circuit.Circuit, init logic.V, cfg Config) (*Run, error) {
 			Workers:              cfg.Workers,
 			Kernel:               cfg.Kernel,
 			SlabLanes:            cfg.SlabLanes,
+			ShardProcs:           cfg.ShardProcs,
 			Span:                 pipe,
 			Ctx:                  cfg.Ctx,
 		})
@@ -334,6 +343,7 @@ func RunPipeline(c *circuit.Circuit, init logic.V, cfg Config) (*Run, error) {
 		Workers:           cfg.Workers,
 		Kernel:            cfg.Kernel,
 		SlabLanes:         cfg.SlabLanes,
+		ShardProcs:        cfg.ShardProcs,
 		Span:              pipe,
 		Ctx:               cfg.Ctx,
 	})

@@ -32,6 +32,15 @@ type goldenRecord struct {
 	DetTimeHist map[string]int `json:"det_time_histogram"`
 }
 
+// goldenCase is one pinned workload.
+type goldenCase struct {
+	name    string
+	circuit string
+	seqDesc string
+	seq     *sim.Sequence
+	init    logic.V
+}
+
 // goldenCases are the pinned workloads:
 //
 //   - s27-table1: the real s27 under the paper's Table 1 deterministic test
@@ -42,13 +51,7 @@ type goldenRecord struct {
 //     coverage the Figure 1 generator is built to deliver.
 //   - s298-random / s344-random: suite circuits under fixed random binary
 //     stimulus, full collapsed fault universe.
-func goldenCases(t *testing.T) []struct {
-	name    string
-	circuit string
-	seqDesc string
-	seq     *sim.Sequence
-	init    logic.V
-} {
+func goldenCases(t *testing.T) []goldenCase {
 	t.Helper()
 	table1, err := sim.ParseSequence(iscas.S27TestSequence)
 	if err != nil {
@@ -57,13 +60,7 @@ func goldenCases(t *testing.T) []struct {
 	weighted := core.Assignment{Subs: []string{"01", "0", "100", "1"}}.GenSequence(64)
 	rand298 := sim.RandomSequence(randutil.New(298), 3, 128)
 	rand344 := sim.RandomSequence(randutil.New(344), 9, 128)
-	return []struct {
-		name    string
-		circuit string
-		seqDesc string
-		seq     *sim.Sequence
-		init    logic.V
-	}{
+	return []goldenCase{
 		{"s27-table1", "s27", "paper Table 1 deterministic sequence", table1, logic.X},
 		{"s27-weighted", "s27", "T_G of assignment (01, 0, 100, 1), l_G=64", weighted, logic.X},
 		{"s298-random", "s298", "random binary, seed 298, length 128", rand298, logic.Zero},

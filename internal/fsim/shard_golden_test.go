@@ -1,0 +1,139 @@
+package fsim_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/iscas"
+	"repro/internal/shard"
+	"repro/internal/telemetry"
+)
+
+// TestMain gates the whole fsim test binary: the shard coordinator re-execs
+// the current executable as a worker subprocess, so when this binary is
+// spawned with the worker marker it must enter the protocol loop instead of
+// running the tests.
+func TestMain(m *testing.M) {
+	shard.MaybeWorker()
+	os.Exit(m.Run())
+}
+
+// loadGolden reads one committed golden record from testdata/golden.
+func loadGolden(t *testing.T, name string) goldenRecord {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", "golden", name+".json"))
+	if err != nil {
+		t.Fatalf("missing golden file: %v", err)
+	}
+	var want goldenRecord
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("corrupt golden file %s: %v", name, err)
+	}
+	return want
+}
+
+// recordOf reduces an outcome to the golden observable (coverage plus the
+// detection-time histogram) for comparison against a committed pin.
+func recordOf(tc goldenCase, faults int, out *fsim.Outcome) goldenRecord {
+	got := goldenRecord{
+		Circuit:     tc.circuit,
+		Sequence:    tc.seqDesc,
+		Faults:      faults,
+		Detected:    out.NumDetected,
+		DetTimeHist: map[string]int{},
+	}
+	for i, d := range out.Detected {
+		if d {
+			got.DetTimeHist[fmt.Sprintf("%d", out.DetTime[i])]++
+		}
+	}
+	return got
+}
+
+// TestGoldenOutcomesSharded locks the multi-process coordinator against the
+// same committed golden files as the in-process kernels: for every pinned
+// workload, runs sharded over ShardProcs ∈ {2, 3} × every kernel must
+// reproduce the committed record exactly. Single-group workloads (both s27
+// cases: 32 collapsed faults, one group) exercise the contract's degenerate
+// side — the coordinator must decline and fall back in-process with an
+// untouched outcome — while s298 and s344 (>4 groups) genuinely fan out,
+// which the shard.ranges_dispatched counter verifies.
+func TestGoldenOutcomesSharded(t *testing.T) {
+	for _, tc := range goldenCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			c := iscas.MustLoad(tc.circuit)
+			faults := fault.CollapsedUniverse(c)
+			want := loadGolden(t, tc.name)
+			multiGroup := len(faults) > fsim.GroupSize
+			for _, procs := range []int{2, 3} {
+				for _, kernel := range []fsim.Kernel{fsim.KernelDense, fsim.KernelEvent, fsim.KernelSlab} {
+					before := telemetry.Counters()
+					out := fsim.Run(c, tc.seq, faults, fsim.Options{
+						Init: tc.init, Workers: 1, Kernel: kernel, ShardProcs: procs,
+					})
+					if got := recordOf(tc, len(faults), out); !reflect.DeepEqual(got, want) {
+						t.Errorf("ShardProcs=%d kernel=%v drifted from the golden pin:\n got: %+v\nwant: %+v",
+							procs, kernel, got, want)
+					}
+					d := telemetry.Counters().Sub(before)
+					if dispatched := d.Get(telemetry.CtrShardRangesDispatched); (dispatched > 0) != multiGroup {
+						t.Errorf("ShardProcs=%d kernel=%v: dispatched %d ranges for a %d-group workload",
+							procs, kernel, dispatched, (len(faults)+fsim.GroupSize-1)/fsim.GroupSize)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenOutcomesShardedWorkerDeath re-pins the multi-group golden
+// workloads with the first spawned worker crashing one group into a
+// multi-group range: the coordinator must lose the worker, reassign the
+// unfinished tail of its range, and still reproduce the committed record
+// byte for byte. The coordinator is driven directly (shard.Run with an
+// explicit RangeSize) so the crash is guaranteed to land mid-range rather
+// than on a range boundary, where there would be nothing to reassign.
+func TestGoldenOutcomesShardedWorkerDeath(t *testing.T) {
+	for _, tc := range goldenCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			c := iscas.MustLoad(tc.circuit)
+			faults := fault.CollapsedUniverse(c)
+			if len(faults) <= fsim.GroupSize {
+				t.Skipf("%s has a single fault group; the coordinator never engages", tc.circuit)
+			}
+			want := loadGolden(t, tc.name)
+			before := telemetry.Counters()
+			out, err := shard.Run(c, tc.seq, faults,
+				fsim.Options{Init: tc.init, Workers: 1, Kernel: fsim.KernelDense},
+				shard.Options{
+					Procs:     2,
+					RangeSize: 3,
+					WorkerExtraEnv: func(spawn int) []string {
+						if spawn == 0 {
+							return []string{shard.CrashAfterEnv + "=1"}
+						}
+						return nil
+					},
+				})
+			if err != nil {
+				t.Fatalf("shard.Run: %v", err)
+			}
+			if got := recordOf(tc, len(faults), out); !reflect.DeepEqual(got, want) {
+				t.Errorf("worker-death round drifted from the golden pin:\n got: %+v\nwant: %+v", got, want)
+			}
+			d := telemetry.Counters().Sub(before)
+			if lost := d.Get(telemetry.CtrShardWorkersLost); lost == 0 {
+				t.Error("crash directive set but no worker was lost (the death round did not happen)")
+			}
+			if re := d.Get(telemetry.CtrShardRangesReassigned); re == 0 {
+				t.Error("a worker died mid-range but nothing was reassigned")
+			}
+		})
+	}
+}

@@ -1,0 +1,173 @@
+package shard
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// workerProc is one live worker subprocess: its stdin for dispatch frames
+// and a channel of decoded stdout frames fed by a dedicated reader
+// goroutine (which is what lets runRange select frames against the progress
+// deadline and the run context).
+type workerProc struct {
+	cmd    *exec.Cmd
+	stdin  io.WriteCloser
+	frames chan anyMsg
+
+	mu       sync.Mutex
+	rerr     error // why the reader stopped (EOF, decode error, ...)
+	killOnce sync.Once
+}
+
+func (w *workerProc) readErr() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.rerr
+}
+
+// kill tears the worker down exactly once: close its stdin (a healthy
+// worker exits on EOF), kill the process, drain the frame channel until the
+// reader goroutine stops (late frames from a worker declared lost are
+// discarded — a reassigned duplicate would be dropped by apply anyway), and
+// reap it.
+func (w *workerProc) kill() {
+	w.killOnce.Do(func() {
+		_ = w.stdin.Close()
+		if w.cmd.Process != nil {
+			_ = w.cmd.Process.Kill()
+		}
+		for range w.frames {
+		}
+		_ = w.cmd.Wait()
+	})
+}
+
+// spawn starts worker number co.spawns, wires its pipes, and performs the
+// job handshake: job frame out, hello frame back, identity and world-shape
+// validated. A non-nil error means no range was (or will be) dispatched to
+// this process and it has been cleaned up.
+func (co *coordinator) spawn() (*workerProc, error) {
+	co.mu.Lock()
+	idx := co.spawns
+	co.spawns++
+	co.mu.Unlock()
+
+	argv := co.sopts.WorkerArgv
+	cmd := exec.Command(argv[0], argv[1:]...)
+	cmd.Env = co.workerEnv(idx)
+	cmd.Stderr = os.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, fmt.Errorf("shard: worker stdin: %w", err)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, fmt.Errorf("shard: worker stdout: %w", err)
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("shard: start worker %v: %w", argv, err)
+	}
+
+	w := &workerProc{cmd: cmd, stdin: stdin, frames: make(chan anyMsg, 16)}
+	go func() {
+		defer close(w.frames)
+		in := bufio.NewReader(stdout)
+		for {
+			var fr anyMsg
+			if err := readFrame(in, &fr); err != nil {
+				w.mu.Lock()
+				w.rerr = err
+				w.mu.Unlock()
+				return
+			}
+			w.frames <- fr
+		}
+	}()
+
+	if err := writeFrame(stdin, co.job); err != nil {
+		w.kill()
+		return nil, fmt.Errorf("shard: send job: %w", err)
+	}
+	select {
+	case fr, ok := <-w.frames:
+		if !ok {
+			err := fmt.Errorf("shard: worker died during handshake (%v)", w.readErr())
+			w.kill()
+			return nil, err
+		}
+		if fr.Type == "error" {
+			w.kill()
+			return nil, fmt.Errorf("shard: worker rejected job: %s", fr.Msg)
+		}
+		if fr.Type != "hello" {
+			w.kill()
+			return nil, fmt.Errorf("shard: expected hello, got %q", fr.Type)
+		}
+		if fr.Proto != ProtoVersion {
+			w.kill()
+			return nil, fmt.Errorf("shard: protocol mismatch: worker %q, coordinator %q", fr.Proto, ProtoVersion)
+		}
+		if fr.Groups != co.numGroups || fr.Faults != len(co.faults) || fr.DFFs != len(co.c.DFFs) {
+			w.kill()
+			return nil, fmt.Errorf("shard: worker world mismatch: %d/%d groups, %d/%d faults, %d/%d flip-flops",
+				fr.Groups, co.numGroups, fr.Faults, len(co.faults), fr.DFFs, len(co.c.DFFs))
+		}
+	case <-time.After(co.sopts.ProgressTimeout):
+		w.kill()
+		return nil, fmt.Errorf("shard: worker handshake timed out after %v", co.sopts.ProgressTimeout)
+	case <-ctxDone(co.sopts.Ctx):
+		w.kill()
+		return nil, errCancelled
+	}
+	return w, nil
+}
+
+// workerEnv builds the environment of spawn idx: the coordinator's own
+// environment minus every shard control variable (so injection directives
+// aimed at the coordinator never leak into the whole fleet), plus the
+// worker marker, plus whatever failure the test directives or the
+// programmatic hook inject into THIS spawn.
+func (co *coordinator) workerEnv(idx int) []string {
+	env := make([]string, 0, len(os.Environ())+4)
+	for _, kv := range os.Environ() {
+		name, _, _ := strings.Cut(kv, "=")
+		switch name {
+		case WorkerEnv, CrashAfterEnv, WedgeAfterEnv, TestCrashSpawnEnv, TestWedgeSpawnEnv:
+			continue
+		}
+		env = append(env, kv)
+	}
+	env = append(env, WorkerEnv+"=1")
+	if n, ok := spawnDirective(os.Getenv(TestCrashSpawnEnv), idx); ok {
+		env = append(env, fmt.Sprintf("%s=%d", CrashAfterEnv, n))
+	}
+	if n, ok := spawnDirective(os.Getenv(TestWedgeSpawnEnv), idx); ok {
+		env = append(env, fmt.Sprintf("%s=%d", WedgeAfterEnv, n))
+	}
+	if co.sopts.WorkerExtraEnv != nil {
+		env = append(env, co.sopts.WorkerExtraEnv(idx)...)
+	}
+	return env
+}
+
+// spawnDirective parses an "<spawnIndex>:<afterGroups>" injection directive
+// and reports the afterGroups payload when it targets spawn idx.
+func spawnDirective(dir string, idx int) (int, bool) {
+	s, n, ok := strings.Cut(dir, ":")
+	if !ok {
+		return 0, false
+	}
+	spawn, err1 := strconv.Atoi(s)
+	after, err2 := strconv.Atoi(n)
+	if err1 != nil || err2 != nil || spawn != idx || after <= 0 {
+		return 0, false
+	}
+	return after, true
+}

@@ -1,0 +1,217 @@
+// Package shard extends the deterministic fault-group merge of internal/fsim
+// from goroutines to worker subprocesses: a coordinator partitions a run's
+// 63-fault groups into contiguous ranges and fans them out to N shard-worker
+// processes over a length-prefixed stdin/stdout protocol, then merges the
+// per-group partial outcomes into the caller's Outcome exactly the way the
+// in-process worker pool does (disjoint per-group slice regions, detection
+// counts summed in group order). Because fault groups are fully independent,
+// the merged Outcome is bit-identical to an in-process Workers=1 run for any
+// process count, any range partition, and any failure/reassignment schedule.
+//
+// Robustness is first-class: the coordinator detects worker exits and
+// progress stalls, requeues the unfinished tail of a lost range with bounded
+// retries and exponential backoff, respawns workers, and — as a last resort —
+// simulates an undeliverable range in-process, so a run that starts always
+// completes with the exact in-process result. Cancellation via Options.Ctx
+// stops dispatching at group granularity and accounts skipped groups on the
+// fsim.groups_cancelled counter, mirroring the in-process pool's semantics.
+package shard
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/logic"
+)
+
+// ProtoVersion is the identity header of the shard wire protocol. The
+// coordinator sends it in the job frame and the worker echoes it in its
+// hello frame; any mismatch aborts the handshake before a single group is
+// simulated, so a version skew can never silently corrupt a merge. Bump the
+// suffix on any change to frame layout or message semantics.
+const ProtoVersion = "wbist-shard/v1"
+
+// maxFrame bounds a single frame so a corrupt or hostile length prefix
+// cannot drive an unbounded allocation. Netlist plus full fault universe of
+// the largest suite circuit is a few MB; 1 GiB is comfortably above any
+// legitimate job.
+const maxFrame = 1 << 30
+
+// writeFrame writes one length-prefixed JSON frame: a 4-byte big-endian
+// payload length followed by the marshalled message.
+func writeFrame(w io.Writer, msg any) error {
+	payload, err := json.Marshal(msg)
+	if err != nil {
+		return fmt.Errorf("shard: marshal frame: %w", err)
+	}
+	if len(payload) > maxFrame {
+		return fmt.Errorf("shard: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
+}
+
+// readFrame reads one length-prefixed frame and unmarshals it into msg.
+// io.EOF is returned verbatim on a clean end-of-stream (no partial header).
+func readFrame(r io.Reader, msg any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return io.EOF
+		}
+		return fmt.Errorf("shard: read frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return fmt.Errorf("shard: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return fmt.Errorf("shard: read frame payload: %w", err)
+	}
+	if err := json.Unmarshal(payload, msg); err != nil {
+		return fmt.Errorf("shard: decode frame: %w", err)
+	}
+	return nil
+}
+
+// wireFault identifies a fault by node NAME, not NodeID: node ids are
+// assigned in parse order and do not survive the bench round trip the
+// netlist takes to reach the worker, while names (and fanin pin order) do.
+type wireFault struct {
+	Node  string `json:"n"`
+	Pin   int    `json:"p"`
+	Stuck uint8  `json:"s"`
+}
+
+// jobMsg is the first coordinator→worker frame: everything a worker needs to
+// reconstruct the run — netlist text, canonical run options, the fault list,
+// and the stimulus — so that every later range frame is just two integers.
+type jobMsg struct {
+	Type  string `json:"type"` // "job"
+	Proto string `json:"proto"`
+	// Bench is the netlist in .bench text form (bench.Write output).
+	Bench string `json:"bench"`
+	// Seq is the stimulus in sim.Sequence text form.
+	Seq    string      `json:"seq"`
+	Faults []wireFault `json:"faults"`
+	// Init is the flip-flop initialisation (logic.V).
+	Init uint8 `json:"init"`
+	// Stop is the resolved vector count to simulate (StopTime already
+	// folded in by the coordinator).
+	Stop       int    `json:"stop"`
+	TimeOffset int    `json:"time_offset,omitempty"`
+	Kernel     string `json:"kernel"`
+	SlabLanes  int    `json:"slab_lanes,omitempty"`
+	SaveStates bool   `json:"save_states,omitempty"`
+	// InitialStates, if non-nil, carries every group's starting flip-flop
+	// state as hex "zeros:ones" dual-rail word pairs (index = group).
+	InitialStates [][]string `json:"initial_states,omitempty"`
+}
+
+// helloMsg is the worker's handshake reply. The echoed proto plus the
+// parsed-world shape (groups/faults/flip-flops) lets the coordinator reject
+// a mismatched worker before dispatching any range.
+type helloMsg struct {
+	Type   string `json:"type"` // "hello"
+	Proto  string `json:"proto"`
+	Groups int    `json:"groups"`
+	Faults int    `json:"faults"`
+	DFFs   int    `json:"dffs"`
+}
+
+// rangeMsg dispatches the contiguous group range [Lo,Hi) to a worker.
+type rangeMsg struct {
+	Type string `json:"type"` // "range"
+	Lo   int    `json:"lo"`
+	Hi   int    `json:"hi"`
+}
+
+// groupMsg streams one completed group back to the coordinator. Streaming
+// per group (not per range) is what makes reassignment exact: every group
+// the coordinator has accepted stays accepted, and only a lost range's
+// unfinished tail is ever re-simulated.
+type groupMsg struct {
+	Type  string `json:"type"` // "group"
+	Group int    `json:"g"`
+	// Det is the detection bitmask over the group's faults (bit k =
+	// faults[g*GroupSize+k]), hex-encoded: a group holds at most 63 faults,
+	// so one uint64 always suffices.
+	Det string `json:"det"`
+	// DetTimes lists the detection time of each detected fault, in fault
+	// order (TimeOffset already applied by the worker). len(DetTimes) ==
+	// popcount(Det).
+	DetTimes []int `json:"det_times,omitempty"`
+	NumDet   int   `json:"num_det"`
+	// State is the group's final flip-flop state ("zeros:ones" hex pairs),
+	// present only when the job requested SaveStates.
+	State []string `json:"state,omitempty"`
+	// Counters carries the telemetry delta this group's simulation produced
+	// in the worker, keyed by exported counter name. The coordinator folds
+	// the delta exactly once per accepted group, so the deterministic work
+	// counters (gate_evals, vectors, group_passes, faults_dropped, ...)
+	// stay invariant across process counts, crashes, and reassignments.
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// rangeDoneMsg acknowledges that every group of [Lo,Hi) has been streamed.
+type rangeDoneMsg struct {
+	Type string `json:"type"` // "range_done"
+	Lo   int    `json:"lo"`
+	Hi   int    `json:"hi"`
+}
+
+// errorMsg reports a fatal worker-side error; the worker exits after
+// sending it.
+type errorMsg struct {
+	Type string `json:"type"` // "error"
+	Msg  string `json:"msg"`
+}
+
+// anyMsg is the decode target for worker→coordinator frames: a union of
+// every message the worker can send, discriminated by Type.
+type anyMsg struct {
+	Type     string           `json:"type"`
+	Proto    string           `json:"proto,omitempty"`
+	Groups   int              `json:"groups,omitempty"`
+	Faults   int              `json:"faults,omitempty"`
+	DFFs     int              `json:"dffs,omitempty"`
+	Group    int              `json:"g,omitempty"`
+	Det      string           `json:"det,omitempty"`
+	DetTimes []int            `json:"det_times,omitempty"`
+	NumDet   int              `json:"num_det,omitempty"`
+	State    []string         `json:"state,omitempty"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+	Lo       int              `json:"lo,omitempty"`
+	Hi       int              `json:"hi,omitempty"`
+	Msg      string           `json:"msg,omitempty"`
+}
+
+// encodeWords renders dual-rail words as "zeros:ones" hex pairs. JSON
+// numbers lose integer precision past 2^53, so 64-bit rails go over the wire
+// as strings.
+func encodeWords(ws []logic.W) []string {
+	out := make([]string, len(ws))
+	for i, w := range ws {
+		out[i] = fmt.Sprintf("%x:%x", w.Zeros, w.Ones)
+	}
+	return out
+}
+
+// decodeWords parses the encodeWords format.
+func decodeWords(ss []string) ([]logic.W, error) {
+	out := make([]logic.W, len(ss))
+	for i, s := range ss {
+		if _, err := fmt.Sscanf(s, "%x:%x", &out[i].Zeros, &out[i].Ones); err != nil {
+			return nil, fmt.Errorf("shard: bad state word %q: %w", s, err)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,327 @@
+package shard
+
+import (
+	"bytes"
+	"io"
+	"math/bits"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/iscas"
+	"repro/internal/logic"
+	"repro/internal/randutil"
+	"repro/internal/sim"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := rangeMsg{Type: "range", Lo: 3, Hi: 9}
+	if err := writeFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	var out rangeMsg
+	if err := readFrame(&buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: got %+v, want %+v", out, in)
+	}
+	// A clean end-of-stream is io.EOF verbatim (how the worker loop tells
+	// shutdown from a torn frame).
+	if err := readFrame(&buf, &out); err != io.EOF {
+		t.Fatalf("empty stream: got %v, want io.EOF", err)
+	}
+}
+
+func TestFrameRejectsOversizedLength(t *testing.T) {
+	r := bytes.NewReader([]byte{0xff, 0xff, 0xff, 0xff})
+	var m rangeMsg
+	if err := readFrame(r, &m); err == nil || err == io.EOF {
+		t.Fatalf("oversized frame: got %v, want explicit error", err)
+	}
+}
+
+func TestWordEncodingRoundTrip(t *testing.T) {
+	in := []logic.W{{}, {Zeros: ^uint64(0)}, {Ones: ^uint64(0)}, {Zeros: 0x123456789abcdef0, Ones: 0x0fedcba987654321}}
+	out, err := decodeWords(encodeWords(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, in) {
+		t.Fatalf("round trip: got %v, want %v", out, in)
+	}
+	if _, err := decodeWords([]string{"not-hex"}); err == nil {
+		t.Error("expected a decode error")
+	}
+}
+
+func TestSpawnDirective(t *testing.T) {
+	for _, tc := range []struct {
+		dir string
+		idx int
+		n   int
+		ok  bool
+	}{
+		{"0:3", 0, 3, true},
+		{"0:3", 1, 0, false},
+		{"2:1", 2, 1, true},
+		{"", 0, 0, false},
+		{"junk", 0, 0, false},
+		{"0:0", 0, 0, false},
+		{"x:3", 0, 0, false},
+	} {
+		n, ok := spawnDirective(tc.dir, tc.idx)
+		if n != tc.n || ok != tc.ok {
+			t.Errorf("spawnDirective(%q, %d) = (%d,%v), want (%d,%v)", tc.dir, tc.idx, n, ok, tc.n, tc.ok)
+		}
+	}
+}
+
+// workerDialog runs WorkerMain against in-memory pipes and returns a
+// writer for coordinator→worker frames plus a reader for replies.
+func workerDialog(t *testing.T) (io.WriteCloser, *io.PipeReader, chan error) {
+	t.Helper()
+	inR, inW := io.Pipe()
+	outR, outW := io.Pipe()
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- WorkerMain(inR, outW)
+		outW.Close()
+	}()
+	return inW, outR, errCh
+}
+
+func TestWorkerRejectsProtocolMismatch(t *testing.T) {
+	inW, outR, errCh := workerDialog(t)
+	if err := writeFrame(inW, jobMsg{Type: "job", Proto: "wbist-shard/v999"}); err != nil {
+		t.Fatal(err)
+	}
+	var reply anyMsg
+	if err := readFrame(outR, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.Type != "error" || !strings.Contains(reply.Msg, "protocol mismatch") {
+		t.Fatalf("got %+v, want a protocol-mismatch error frame", reply)
+	}
+	if err := <-errCh; err == nil {
+		t.Error("WorkerMain should report the mismatch")
+	}
+	inW.Close()
+}
+
+func TestWorkerRejectsUnknownFaultNode(t *testing.T) {
+	inW, outR, errCh := workerDialog(t)
+	job := jobMsg{
+		Type: "job", Proto: ProtoVersion,
+		Bench:  "INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n",
+		Seq:    "0\n1\n",
+		Kernel: "dense",
+		Faults: []wireFault{{Node: "ghost", Pin: -1, Stuck: 1}},
+	}
+	if err := writeFrame(inW, job); err != nil {
+		t.Fatal(err)
+	}
+	var reply anyMsg
+	if err := readFrame(outR, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.Type != "error" || !strings.Contains(reply.Msg, "ghost") {
+		t.Fatalf("got %+v, want an unknown-fault-node error frame", reply)
+	}
+	<-errCh
+	inW.Close()
+}
+
+func TestWorkerRejectsOutOfBoundsRange(t *testing.T) {
+	inW, outR, errCh := workerDialog(t)
+	job := jobMsg{
+		Type: "job", Proto: ProtoVersion,
+		Bench:  "INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n",
+		Seq:    "0\n1\n",
+		Kernel: "dense",
+		Stop:   2,
+		Faults: []wireFault{{Node: "z", Pin: -1, Stuck: 0}},
+	}
+	if err := writeFrame(inW, job); err != nil {
+		t.Fatal(err)
+	}
+	var hello anyMsg
+	if err := readFrame(outR, &hello); err != nil {
+		t.Fatal(err)
+	}
+	if hello.Type != "hello" || hello.Groups != 1 || hello.Faults != 1 {
+		t.Fatalf("bad hello: %+v", hello)
+	}
+	if err := writeFrame(inW, rangeMsg{Type: "range", Lo: 0, Hi: 5}); err != nil {
+		t.Fatal(err)
+	}
+	var reply anyMsg
+	if err := readFrame(outR, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.Type != "error" {
+		t.Fatalf("got %+v, want an out-of-bounds error frame", reply)
+	}
+	<-errCh
+	inW.Close()
+}
+
+// TestWorkerStreamsRangesInProcess drives the full worker loop through
+// workerDialog with a real job — warm per-group initial states, SaveStates,
+// a time offset — and checks every streamed group against the in-process
+// baseline, the range_done acknowledgements, and the clean-EOF shutdown.
+// (The subprocess tests exercise the same loop, but only this in-process
+// dialog pins the exact frame sequence a coordinator sees.)
+func TestWorkerStreamsRangesInProcess(t *testing.T) {
+	c := iscas.MustLoad("s298")
+	seq := sim.RandomSequence(randutil.New(3), len(c.Inputs), 48)
+	faults := fault.CollapsedUniverse(c)
+	numGroups := (len(faults) + fsim.GroupSize - 1) / fsim.GroupSize
+
+	// Warm start: one SaveStates leg provides a distinct initial state per
+	// group, so the job exercises the InitialStates encode/decode path.
+	warm := fsim.Run(c, seq, faults, fsim.Options{Init: logic.Zero, Workers: 1, SaveStates: true})
+	fopts := fsim.Options{
+		Init: logic.Zero, Kernel: fsim.KernelDense, SaveStates: true,
+		TimeOffset: seq.Len(), InitialStates: warm.FinalStates,
+	}
+	ref := fopts
+	ref.Workers = 1
+	base := fsim.Run(c, seq, faults, ref)
+
+	co := &coordinator{c: c, faults: faults, fopts: fopts, stop: seq.Len()}
+	if err := co.buildJob(seq); err != nil {
+		t.Fatal(err)
+	}
+	inW, outR, errCh := workerDialog(t)
+	if err := writeFrame(inW, co.job); err != nil {
+		t.Fatal(err)
+	}
+	var hello anyMsg
+	if err := readFrame(outR, &hello); err != nil {
+		t.Fatal(err)
+	}
+	if hello.Type != "hello" || hello.Proto != ProtoVersion ||
+		hello.Groups != numGroups || hello.Faults != len(faults) || hello.DFFs != len(c.DFFs) {
+		t.Fatalf("hello = %+v, want %d groups / %d faults / %d dffs", hello, numGroups, len(faults), len(c.DFFs))
+	}
+
+	// Two dispatches covering all groups, the way a coordinator would.
+	split := numGroups / 2
+	det := 0
+	for _, r := range []rangeMsg{
+		{Type: "range", Lo: 0, Hi: split},
+		{Type: "range", Lo: split, Hi: numGroups},
+	} {
+		if err := writeFrame(inW, r); err != nil {
+			t.Fatal(err)
+		}
+		for g := r.Lo; g < r.Hi; g++ {
+			var fr anyMsg
+			if err := readFrame(outR, &fr); err != nil {
+				t.Fatal(err)
+			}
+			if fr.Type != "group" || fr.Group != g {
+				t.Fatalf("frame = %+v, want group %d", fr, g)
+			}
+			mask, err := strconv.ParseUint(fr.Det, 16, 64)
+			if err != nil {
+				t.Fatalf("group %d: bad det mask %q", g, fr.Det)
+			}
+			if n := bits.OnesCount64(mask); n != fr.NumDet || n != len(fr.DetTimes) {
+				t.Fatalf("group %d: mask %#x vs num_det %d vs %d times", g, mask, fr.NumDet, len(fr.DetTimes))
+			}
+			lo := g * fsim.GroupSize
+			hi := min(lo+fsim.GroupSize, len(faults))
+			ti := 0
+			for k := 0; k < hi-lo; k++ {
+				want := base.Detected[lo+k]
+				if got := mask&(1<<uint(k)) != 0; got != want {
+					t.Fatalf("group %d fault %d: detected=%v, baseline %v", g, k, got, want)
+				}
+				if want {
+					if fr.DetTimes[ti] != base.DetTime[lo+k] {
+						t.Fatalf("group %d fault %d: det time %d, baseline %d", g, k, fr.DetTimes[ti], base.DetTime[lo+k])
+					}
+					ti++
+				}
+			}
+			if len(fr.State) != len(c.DFFs) {
+				t.Fatalf("group %d: %d state words for %d flip-flops", g, len(fr.State), len(c.DFFs))
+			}
+			if len(fr.Counters) == 0 || fr.Counters["fsim.gate_evals"] <= 0 {
+				t.Fatalf("group %d: missing counter delta: %v", g, fr.Counters)
+			}
+			det += fr.NumDet
+		}
+		var done anyMsg
+		if err := readFrame(outR, &done); err != nil {
+			t.Fatal(err)
+		}
+		if done.Type != "range_done" || done.Lo != r.Lo || done.Hi != r.Hi {
+			t.Fatalf("ack = %+v, want range_done [%d,%d)", done, r.Lo, r.Hi)
+		}
+	}
+	if det != base.NumDetected {
+		t.Fatalf("streamed %d detections, baseline %d", det, base.NumDetected)
+	}
+	inW.Close() // coordinator shutdown: stdin EOF must end the loop cleanly
+	if err := <-errCh; err != nil {
+		t.Fatalf("WorkerMain after clean EOF: %v", err)
+	}
+}
+
+// TestNewWorkerRunRejects pins the job-validation error paths: every frame
+// a skewed or corrupt coordinator could send must fail fast, before any
+// group is simulated.
+func TestNewWorkerRunRejects(t *testing.T) {
+	good := func() jobMsg {
+		return jobMsg{
+			Type: "job", Proto: ProtoVersion,
+			Bench:  "INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n",
+			Seq:    "0\n1\n",
+			Kernel: "dense",
+			Faults: []wireFault{{Node: "z", Pin: -1, Stuck: 0}},
+		}
+	}
+	if _, err := newWorkerRun(&jobMsg{Type: "job", Proto: ProtoVersion, Bench: "not a netlist", Kernel: "dense"}); err == nil {
+		t.Error("bad netlist accepted")
+	}
+	bad := good()
+	bad.Seq = "01x_junk 2\n"
+	if _, err := newWorkerRun(&bad); err == nil {
+		t.Error("bad sequence accepted")
+	}
+	bad = good()
+	bad.Kernel = "quantum"
+	if _, err := newWorkerRun(&bad); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+	bad = good()
+	bad.InitialStates = [][]string{{"0:0"}, {"0:0"}} // 2 states, 1 group
+	if _, err := newWorkerRun(&bad); err == nil {
+		t.Error("group/state count mismatch accepted")
+	}
+	bad = good()
+	bad.InitialStates = [][]string{{"nonsense"}}
+	if _, err := newWorkerRun(&bad); err == nil {
+		t.Error("corrupt state words accepted")
+	}
+	bad = good()
+	bad.InitialStates = [][]string{{"0:0", "0:0"}} // 2 words, 0 flip-flops
+	if _, err := newWorkerRun(&bad); err == nil {
+		t.Error("state width mismatch accepted")
+	}
+	ok := good()
+	w, err := newWorkerRun(&ok)
+	if err != nil {
+		t.Fatalf("valid job rejected: %v", err)
+	}
+	if w.numGroups() != 1 || len(w.faults) != 1 {
+		t.Fatalf("parsed world = %d groups / %d faults", w.numGroups(), len(w.faults))
+	}
+}

@@ -1,0 +1,535 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"math/bits"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/circuit"
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/logic"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// Options tune the coordinator. The zero value picks sane defaults for
+// every field except Procs.
+type Options struct {
+	// Procs is the number of worker subprocesses. Values below 2 make Run
+	// an error (use the in-process pool instead).
+	Procs int
+	// RangeSize is the number of fault groups per dispatched range. 0
+	// picks max(1, numGroups/(Procs*4)): fine-grained enough to balance
+	// uneven group costs, coarse enough to amortize frame overhead.
+	RangeSize int
+	// MaxRetries bounds how many times a range's unfinished tail is
+	// redispatched to a (re)spawned worker after a loss before the
+	// coordinator simulates it in-process (default 3). The in-process
+	// fallback is what guarantees a dispatched run always completes with
+	// the exact in-process result, even under a deterministic crasher.
+	MaxRetries int
+	// ProgressTimeout is the per-worker progress deadline: if a worker
+	// streams no frame for this long while a range is outstanding, it is
+	// declared wedged, killed, and its tail reassigned (default 60s).
+	ProgressTimeout time.Duration
+	// BackoffBase is the base of the exponential respawn backoff after a
+	// worker loss: base<<retries, capped at 2s (default 50ms).
+	BackoffBase time.Duration
+	// WorkerArgv is the command line of a worker process (default: the
+	// current binary via os.Executable; the WorkerEnv marker does the
+	// rest, so any binary that calls MaybeWorker works).
+	WorkerArgv []string
+	// WorkerExtraEnv, if non-nil, returns extra environment entries for
+	// the spawn-index'th worker process spawned by this coordinator. The
+	// crash-injection tests use it to make exactly one spawn misbehave.
+	WorkerExtraEnv func(spawn int) []string
+	// Ctx cancels the run at fault-group granularity, mirroring
+	// fsim.Options.Ctx: the coordinator stops dispatching, kills its
+	// workers, counts every unfinished group on fsim.groups_cancelled and
+	// marks the outcome Cancelled.
+	Ctx context.Context
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 3
+	}
+	if o.ProgressTimeout == 0 {
+		o.ProgressTimeout = 60 * time.Second
+	}
+	if o.BackoffBase == 0 {
+		o.BackoffBase = 50 * time.Millisecond
+	}
+	return o
+}
+
+// Test-injection environment variables understood by the coordinator
+// itself: "<spawnIndex>:<afterGroups>" makes the spawnIndex'th worker spawn
+// crash (exit 3) or wedge after streaming afterGroups group results. They
+// let the CLI smoke test inject exactly one failure without a programmatic
+// hook, and are never forwarded to workers as-is.
+const (
+	TestCrashSpawnEnv = "WBIST_SHARD_TEST_CRASH_SPAWN"
+	TestWedgeSpawnEnv = "WBIST_SHARD_TEST_WEDGE_SPAWN"
+)
+
+func init() {
+	fsim.RegisterShardRunner(func(c *circuit.Circuit, seq *sim.Sequence, faults []fault.Fault, stop int, fopts fsim.Options, out *fsim.Outcome) error {
+		return run(c, seq, faults, stop, fopts, Options{Procs: fopts.ShardProcs, Ctx: fopts.Ctx}, out)
+	})
+}
+
+// Run fault-simulates seq against faults by sharding the fault groups over
+// sopts.Procs worker subprocesses, returning an Outcome bit-identical to
+// fsim.Run with Workers=1. It is the direct entry point for tests and
+// benchmarks; production callers set fsim.Options.ShardProcs instead and
+// let fsim dispatch here.
+func Run(c *circuit.Circuit, seq *sim.Sequence, faults []fault.Fault, fopts fsim.Options, sopts Options) (*fsim.Outcome, error) {
+	numGroups := (len(faults) + fsim.GroupSize - 1) / fsim.GroupSize
+	out := &fsim.Outcome{
+		Detected: make([]bool, len(faults)),
+		DetTime:  make([]int, len(faults)),
+	}
+	for i := range out.DetTime {
+		out.DetTime[i] = -1
+	}
+	if fopts.SaveStates {
+		out.FinalStates = make([][]logic.W, numGroups)
+	}
+	stop := seq.Len()
+	if fopts.StopTime > 0 && fopts.StopTime < stop {
+		stop = fopts.StopTime
+	}
+	if numGroups == 0 {
+		return out, nil
+	}
+	fopts.Kernel = fopts.Kernel.Resolve()
+	if err := run(c, seq, faults, stop, fopts, sopts, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// grange is a contiguous range of fault-group indices awaiting dispatch.
+type grange struct {
+	lo, hi  int
+	retries int
+}
+
+type coordinator struct {
+	c         *circuit.Circuit
+	seqRef    *sim.Sequence
+	faults    []fault.Fault
+	fopts     fsim.Options
+	sopts     Options
+	out       *fsim.Outcome
+	job       jobMsg
+	numGroups int
+	stop      int
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	queue      []grange
+	done       []bool
+	groupsLeft int
+	spawns     int
+	cancelled  bool
+}
+
+// run shards groups [0,numGroups) over worker subprocesses, writing into
+// out exactly the disjoint per-group regions the in-process pool would.
+// It returns a non-nil error only before anything was dispatched (job
+// construction or first-worker handshake failed), so a caller can fall back
+// to the in-process path with out still pristine. Once dispatch starts the
+// run always completes: ranges that exhaust their retries are simulated
+// in-process by the coordinator itself.
+func run(c *circuit.Circuit, seq *sim.Sequence, faults []fault.Fault, stop int, fopts fsim.Options, sopts Options, out *fsim.Outcome) error {
+	sopts = sopts.withDefaults()
+	if sopts.Procs < 2 {
+		return fmt.Errorf("shard: Procs=%d, need at least 2", sopts.Procs)
+	}
+	numGroups := (len(faults) + fsim.GroupSize - 1) / fsim.GroupSize
+	if numGroups < 2 {
+		return fmt.Errorf("shard: %d fault groups, nothing to shard", numGroups)
+	}
+	if len(sopts.WorkerArgv) == 0 {
+		exe, err := os.Executable()
+		if err != nil {
+			return fmt.Errorf("shard: resolve worker binary: %w", err)
+		}
+		sopts.WorkerArgv = []string{exe}
+	}
+
+	co := &coordinator{
+		c: c, seqRef: seq, faults: faults, fopts: fopts, sopts: sopts, out: out,
+		numGroups: numGroups, stop: stop,
+		done: make([]bool, numGroups), groupsLeft: numGroups,
+	}
+	co.cond = sync.NewCond(&co.mu)
+	if err := co.buildJob(seq); err != nil {
+		return err
+	}
+
+	rangeSize := sopts.RangeSize
+	if rangeSize <= 0 {
+		rangeSize = max(1, numGroups/(sopts.Procs*4))
+	}
+	for lo := 0; lo < numGroups; lo += rangeSize {
+		co.queue = append(co.queue, grange{lo: lo, hi: min(lo+rangeSize, numGroups)})
+	}
+	procs := min(sopts.Procs, len(co.queue))
+
+	// Spawn and handshake the first worker synchronously: if even one
+	// worker cannot come up, report it before any range is dispatched so
+	// the caller can run in-process instead of limping through the
+	// coordinator's sequential fallback.
+	w0, err := co.spawn()
+	if err == errCancelled {
+		// Cancelled before anything was dispatched: same accounting as the
+		// in-process pool's entry check.
+		out.Cancelled = true
+		telemetry.Add(telemetry.CtrGroupsCancelled, int64(numGroups))
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+
+	if co.sopts.Ctx != nil {
+		stopWatch := make(chan struct{})
+		defer close(stopWatch)
+		go func() {
+			select {
+			case <-co.sopts.Ctx.Done():
+				co.mu.Lock()
+				co.cancelled = true
+				co.cond.Broadcast()
+				co.mu.Unlock()
+			case <-stopWatch:
+			}
+		}()
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < procs; i++ {
+		w := (*workerProc)(nil)
+		if i == 0 {
+			w = w0
+		}
+		wg.Add(1)
+		go func(w *workerProc) {
+			defer wg.Done()
+			co.workerLoop(w)
+		}(w)
+	}
+	wg.Wait()
+
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if co.groupsLeft > 0 {
+		// Only cancellation leaves groups behind (failures fall back
+		// in-process); account them exactly like the in-process pool.
+		out.Cancelled = true
+		telemetry.Add(telemetry.CtrGroupsCancelled, int64(co.groupsLeft))
+	}
+	return nil
+}
+
+// buildJob renders the one-time job frame: netlist text, stimulus text,
+// faults by node name, and the canonical per-group run options.
+func (co *coordinator) buildJob(seq *sim.Sequence) error {
+	var nb strings.Builder
+	if err := bench.Write(&nb, co.c); err != nil {
+		return fmt.Errorf("shard: serialize netlist: %w", err)
+	}
+	wfs := make([]wireFault, len(co.faults))
+	for i, f := range co.faults {
+		wfs[i] = wireFault{Node: co.c.Nodes[f.Node].Name, Pin: f.Pin, Stuck: f.Stuck}
+	}
+	co.job = jobMsg{
+		Type: "job", Proto: ProtoVersion,
+		Bench:      nb.String(),
+		Seq:        seq.String(),
+		Faults:     wfs,
+		Init:       uint8(co.fopts.Init),
+		Stop:       co.stop,
+		TimeOffset: co.fopts.TimeOffset,
+		Kernel:     co.fopts.Kernel.String(),
+		SlabLanes:  co.fopts.SlabLanes,
+		SaveStates: co.fopts.SaveStates,
+	}
+	if co.fopts.InitialStates != nil {
+		co.job.InitialStates = make([][]string, len(co.fopts.InitialStates))
+		for g, st := range co.fopts.InitialStates {
+			co.job.InitialStates[g] = encodeWords(st)
+		}
+	}
+	return nil
+}
+
+// next blocks until a range is available, every group is done, or the run
+// is cancelled. ok=false means "stop working".
+func (co *coordinator) next() (grange, bool) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	for {
+		if co.cancelled || co.groupsLeft == 0 {
+			return grange{}, false
+		}
+		if len(co.queue) > 0 {
+			r := co.queue[0]
+			co.queue = co.queue[1:]
+			return r, true
+		}
+		co.cond.Wait()
+	}
+}
+
+// requeue puts a lost range's unfinished tail back on the queue with one
+// more retry on its clock.
+func (co *coordinator) requeue(r grange) {
+	co.mu.Lock()
+	co.queue = append(co.queue, grange{lo: r.lo, hi: r.hi, retries: r.retries + 1})
+	co.cond.Broadcast()
+	co.mu.Unlock()
+	telemetry.Add(telemetry.CtrShardRangesReassigned, 1)
+}
+
+// workerLoop is one dispatch slot: it owns at most one live worker process
+// at a time, feeds it ranges, and on a loss respawns with backoff (the
+// range's tail having been requeued for whoever gets to it first).
+func (co *coordinator) workerLoop(w *workerProc) {
+	defer func() {
+		if w != nil {
+			w.kill()
+		}
+	}()
+	for {
+		r, ok := co.next()
+		if !ok {
+			return
+		}
+		if r.retries > co.sopts.MaxRetries {
+			co.runInProcess(r)
+			continue
+		}
+		if w == nil {
+			var err error
+			w, err = co.spawn()
+			if err != nil {
+				// A spawn failure burns one of the range's retries so a
+				// persistently unspawnable fleet degrades to the
+				// in-process fallback instead of spinning.
+				co.requeue(r)
+				co.backoff(r.retries)
+				continue
+			}
+		}
+		progress, err := co.runRange(w, r)
+		if err == errCancelled {
+			return
+		}
+		if err != nil {
+			w.kill()
+			w = nil
+			telemetry.Add(telemetry.CtrShardWorkersLost, 1)
+			if progress < r.hi {
+				co.requeue(grange{lo: progress, hi: r.hi, retries: r.retries})
+			}
+			co.backoff(r.retries)
+		}
+	}
+}
+
+func (co *coordinator) backoff(retries int) {
+	d := co.sopts.BackoffBase << uint(min(retries, 5))
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	select {
+	case <-time.After(d):
+	case <-ctxDone(co.sopts.Ctx):
+	}
+}
+
+var errCancelled = fmt.Errorf("shard: run cancelled")
+
+// runRange dispatches [r.lo,r.hi) to w and applies the streamed group
+// results. It returns the first group index NOT yet accepted from this
+// range (the tail to reassign) plus an error describing the loss, or
+// (r.hi, nil) on a clean range_done.
+func (co *coordinator) runRange(w *workerProc, r grange) (progress int, err error) {
+	progress = r.lo
+	if err := writeFrame(w.stdin, rangeMsg{Type: "range", Lo: r.lo, Hi: r.hi}); err != nil {
+		return progress, fmt.Errorf("shard: dispatch range: %w", err)
+	}
+	telemetry.Add(telemetry.CtrShardRangesDispatched, 1)
+	timer := time.NewTimer(co.sopts.ProgressTimeout)
+	defer timer.Stop()
+	for {
+		select {
+		case fr, ok := <-w.frames:
+			if !ok {
+				return progress, fmt.Errorf("shard: worker exited mid-range (%v)", w.readErr())
+			}
+			if !timer.Stop() {
+				<-timer.C
+			}
+			timer.Reset(co.sopts.ProgressTimeout)
+			switch fr.Type {
+			case "group":
+				if fr.Group < r.lo || fr.Group >= r.hi {
+					return progress, fmt.Errorf("shard: group %d outside dispatched range [%d,%d)", fr.Group, r.lo, r.hi)
+				}
+				if err := co.apply(fr); err != nil {
+					return progress, err
+				}
+				if fr.Group+1 > progress {
+					progress = fr.Group + 1
+				}
+			case "range_done":
+				return r.hi, nil
+			case "error":
+				return progress, fmt.Errorf("shard: worker error: %s", fr.Msg)
+			default:
+				return progress, fmt.Errorf("shard: unexpected frame %q", fr.Type)
+			}
+		case <-timer.C:
+			return progress, fmt.Errorf("shard: worker made no progress for %v", co.sopts.ProgressTimeout)
+		case <-ctxDone(co.sopts.Ctx):
+			return progress, errCancelled
+		}
+	}
+}
+
+// apply merges one group result into the outcome, exactly once per group:
+// a duplicate (a reassigned range re-streaming a group the coordinator
+// already accepted from the original worker) is dropped, which keeps both
+// the outcome regions and the folded telemetry deltas single-counted.
+func (co *coordinator) apply(fr anyMsg) error {
+	g := fr.Group
+	lo := g * fsim.GroupSize
+	hi := min(lo+fsim.GroupSize, len(co.faults))
+	det, err := strconv.ParseUint(fr.Det, 16, 64)
+	if err != nil {
+		return fmt.Errorf("shard: group %d: bad detection mask %q", g, fr.Det)
+	}
+	if det>>uint(hi-lo) != 0 {
+		return fmt.Errorf("shard: group %d: detection mask %#x wider than %d faults", g, det, hi-lo)
+	}
+	n := bits.OnesCount64(det)
+	if n != len(fr.DetTimes) || n != fr.NumDet {
+		return fmt.Errorf("shard: group %d: %d detections, %d times, num_det=%d", g, n, len(fr.DetTimes), fr.NumDet)
+	}
+	var state []logic.W
+	if co.fopts.SaveStates {
+		if state, err = decodeWords(fr.State); err != nil {
+			return err
+		}
+		if len(state) != len(co.c.DFFs) {
+			return fmt.Errorf("shard: group %d: %d state words for %d flip-flops", g, len(state), len(co.c.DFFs))
+		}
+	}
+
+	co.mu.Lock()
+	if co.done[g] {
+		co.mu.Unlock()
+		return nil
+	}
+	co.done[g] = true
+	co.groupsLeft--
+	last := co.groupsLeft == 0
+	ti := 0
+	for k := 0; k < hi-lo; k++ {
+		if det&(1<<uint(k)) != 0 {
+			co.out.Detected[lo+k] = true
+			co.out.DetTime[lo+k] = fr.DetTimes[ti]
+			ti++
+		}
+	}
+	co.out.NumDetected += fr.NumDet
+	if co.fopts.SaveStates {
+		co.out.FinalStates[g] = state
+	}
+	if last {
+		co.cond.Broadcast()
+	}
+	co.mu.Unlock()
+
+	// Fold the worker's counter delta into this process's totals so the
+	// deterministic work counters match the in-process run exactly (each
+	// accepted group counted once; a killed worker's unreported partial
+	// work never counted — same as work that never ran).
+	for name, v := range fr.Counters {
+		if id, ok := telemetry.Lookup(name); ok {
+			telemetry.Add(id, v)
+		}
+	}
+	return nil
+}
+
+// runInProcess is the last-resort path for a range whose retries are
+// exhausted: simulate its unfinished groups right here, one single-group
+// fsim run each — the same computation the worker would have done, counted
+// directly on this process's telemetry.
+func (co *coordinator) runInProcess(r grange) {
+	s := fsim.New(co.c)
+	for g := r.lo; g < r.hi; g++ {
+		co.mu.Lock()
+		skip := co.done[g]
+		cancelled := co.cancelled
+		co.mu.Unlock()
+		if cancelled {
+			return
+		}
+		if skip {
+			continue
+		}
+		lo := g * fsim.GroupSize
+		hi := min(lo+fsim.GroupSize, len(co.faults))
+		opts := fsim.Options{
+			Init:       co.fopts.Init,
+			StopTime:   co.stop,
+			TimeOffset: co.fopts.TimeOffset,
+			SaveStates: co.fopts.SaveStates,
+			Kernel:     co.fopts.Kernel,
+			SlabLanes:  co.fopts.SlabLanes,
+		}
+		if co.fopts.InitialStates != nil {
+			opts.InitialStates = [][]logic.W{co.fopts.InitialStates[g]}
+		}
+		sub := s.Run(co.seqRef, co.faults[lo:hi], opts)
+
+		co.mu.Lock()
+		if !co.done[g] {
+			co.done[g] = true
+			co.groupsLeft--
+			copy(co.out.Detected[lo:hi], sub.Detected)
+			copy(co.out.DetTime[lo:hi], sub.DetTime)
+			co.out.NumDetected += sub.NumDetected
+			if co.fopts.SaveStates {
+				co.out.FinalStates[g] = sub.FinalStates[0]
+			}
+			if co.groupsLeft == 0 {
+				co.cond.Broadcast()
+			}
+		}
+		co.mu.Unlock()
+	}
+}
+
+// ctxDone adapts a possibly-nil context to a select-able channel (nil
+// blocks forever, i.e. never cancels).
+func ctxDone(ctx context.Context) <-chan struct{} {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Done()
+}

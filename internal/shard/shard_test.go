@@ -1,0 +1,308 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/iscas"
+	"repro/internal/logic"
+	"repro/internal/randutil"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// TestMain is the worker gate: when the coordinator re-execs this test
+// binary as a shard worker, MaybeWorker takes over and never returns.
+func TestMain(m *testing.M) {
+	MaybeWorker()
+	os.Exit(m.Run())
+}
+
+// world is one ready-to-shard workload: a suite circuit, a random stimulus,
+// its collapsed fault universe, and the in-process Workers=1 baseline
+// outcome every sharded run must reproduce bit for bit.
+type world struct {
+	c      *circuit.Circuit
+	seq    *sim.Sequence
+	faults []fault.Fault
+	fopts  fsim.Options
+	base   *fsim.Outcome
+}
+
+func makeWorld(t *testing.T, name string, vectors int, fopts fsim.Options) *world {
+	t.Helper()
+	c := iscas.MustLoad(name)
+	seq := sim.RandomSequence(randutil.New(42), len(c.Inputs), vectors)
+	faults := fault.CollapsedUniverse(c)
+	ref := fopts
+	ref.ShardProcs = 0
+	ref.Workers = 1
+	return &world{c: c, seq: seq, faults: faults, fopts: fopts,
+		base: fsim.Run(c, seq, faults, ref)}
+}
+
+// fastFailure are coordinator knobs that keep failure-path tests quick.
+func fastFailure(o Options) Options {
+	if o.ProgressTimeout == 0 {
+		o.ProgressTimeout = 10 * time.Second
+	}
+	o.BackoffBase = time.Millisecond
+	return o
+}
+
+func (w *world) check(t *testing.T, sopts Options) *fsim.Outcome {
+	t.Helper()
+	got, err := Run(w.c, w.seq, w.faults, w.fopts, fastFailure(sopts))
+	if err != nil {
+		t.Fatalf("shard.Run: %v", err)
+	}
+	if !reflect.DeepEqual(got, w.base) {
+		t.Fatalf("sharded outcome diverges from in-process baseline: got %d det, want %d det",
+			got.NumDetected, w.base.NumDetected)
+	}
+	return got
+}
+
+func TestShardMatchesInProcess(t *testing.T) {
+	w := makeWorld(t, "s298", 128, fsim.Options{Init: logic.Zero})
+	for _, procs := range []int{2, 4} {
+		t.Run(fmt.Sprintf("procs=%d", procs), func(t *testing.T) {
+			w.check(t, Options{Procs: procs})
+		})
+	}
+}
+
+func TestShardKernelsAndSaveStates(t *testing.T) {
+	for _, kernel := range []fsim.Kernel{fsim.KernelDense, fsim.KernelEvent, fsim.KernelSlab} {
+		t.Run(kernel.String(), func(t *testing.T) {
+			w := makeWorld(t, "s344", 96, fsim.Options{
+				Init: logic.X, Kernel: kernel, SaveStates: true, TimeOffset: 7,
+			})
+			w.check(t, Options{Procs: 3, RangeSize: 1})
+		})
+	}
+}
+
+// TestShardCounterInvariance pins the contract that the deterministic work
+// counters fold back to the exact in-process totals: each accepted group is
+// counted once, whether it was simulated here or in a worker process.
+func TestShardCounterInvariance(t *testing.T) {
+	c := iscas.MustLoad("s298")
+	seq := sim.RandomSequence(randutil.New(7), len(c.Inputs), 64)
+	faults := fault.CollapsedUniverse(c)
+	fopts := fsim.Options{Init: logic.Zero, Kernel: fsim.KernelDense}
+
+	before := telemetry.Counters()
+	base := fsim.Run(c, seq, faults, fopts)
+	inproc := telemetry.Counters().Sub(before)
+
+	before = telemetry.Counters()
+	got, err := Run(c, seq, faults, fopts, fastFailure(Options{Procs: 2}))
+	if err != nil {
+		t.Fatalf("shard.Run: %v", err)
+	}
+	sharded := telemetry.Counters().Sub(before)
+
+	if !reflect.DeepEqual(got, base) {
+		t.Fatal("sharded outcome diverges from in-process baseline")
+	}
+	for _, id := range []telemetry.CounterID{
+		telemetry.CtrGateEvals, telemetry.CtrVectors,
+		telemetry.CtrGroupPasses, telemetry.CtrFaultsDropped,
+	} {
+		if inproc.Get(id) != sharded.Get(id) {
+			t.Errorf("%s: in-process %d, sharded %d", id.Name(), inproc.Get(id), sharded.Get(id))
+		}
+	}
+	if sharded.Get(telemetry.CtrShardRangesDispatched) == 0 {
+		t.Error("no ranges dispatched — shard path did not engage")
+	}
+}
+
+// TestShardViaFsimOptions drives the registered runner through the public
+// fsim entry point, the way expt and serve do.
+func TestShardViaFsimOptions(t *testing.T) {
+	w := makeWorld(t, "s298", 96, fsim.Options{Init: logic.Zero})
+	fopts := w.fopts
+	fopts.ShardProcs = 2
+	got := fsim.Run(w.c, w.seq, w.faults, fopts)
+	if !reflect.DeepEqual(got, w.base) {
+		t.Fatal("fsim.Run(ShardProcs=2) diverges from Workers=1 baseline")
+	}
+}
+
+// TestCrashReassignment kills the first spawned worker after one streamed
+// group and asserts (a) the merged outcome stays byte-identical and (b) the
+// loss and reassignment are visible on the shard telemetry counters.
+func TestCrashReassignment(t *testing.T) {
+	w := makeWorld(t, "s298", 128, fsim.Options{Init: logic.Zero})
+	before := telemetry.Counters()
+	w.check(t, Options{
+		Procs:     2,
+		RangeSize: 2,
+		WorkerExtraEnv: func(spawn int) []string {
+			if spawn == 0 {
+				return []string{CrashAfterEnv + "=1"}
+			}
+			return nil
+		},
+	})
+	d := telemetry.Counters().Sub(before)
+	if d.Get(telemetry.CtrShardWorkersLost) == 0 {
+		t.Error("expected at least one lost worker")
+	}
+	if d.Get(telemetry.CtrShardRangesReassigned) == 0 {
+		t.Error("expected at least one reassigned range")
+	}
+}
+
+// TestWedgeTimeout wedges the first spawned worker (alive but silent) past
+// the progress deadline and asserts the coordinator kills it, reassigns the
+// tail, and still merges the exact baseline outcome.
+func TestWedgeTimeout(t *testing.T) {
+	w := makeWorld(t, "s298", 128, fsim.Options{Init: logic.Zero})
+	before := telemetry.Counters()
+	w.check(t, Options{
+		Procs:           2,
+		RangeSize:       2,
+		ProgressTimeout: 300 * time.Millisecond,
+		WorkerExtraEnv: func(spawn int) []string {
+			if spawn == 0 {
+				return []string{WedgeAfterEnv + "=1"}
+			}
+			return nil
+		},
+	})
+	d := telemetry.Counters().Sub(before)
+	if d.Get(telemetry.CtrShardWorkersLost) == 0 {
+		t.Error("expected the wedged worker to be declared lost")
+	}
+}
+
+// TestDeterministicCrasherFallsBackInProcess exhausts a range's retries and
+// asserts the coordinator still completes the run — in-process,
+// bit-identically. Every spawn crashes after one streamed group, and ranges
+// hold 3 groups with MaxRetries=1, so a range's lifecycle is forced all the
+// way down the ladder: first worker streams the head group and dies, the
+// 2-group tail is reassigned, the respawn streams one more and dies, and
+// the final group's tail now exceeds its retry budget — only the
+// coordinator's own runInProcess fallback can produce it.
+func TestDeterministicCrasherFallsBackInProcess(t *testing.T) {
+	w := makeWorld(t, "s298", 64, fsim.Options{Init: logic.Zero})
+	before := telemetry.Counters()
+	w.check(t, Options{
+		Procs:      2,
+		RangeSize:  3,
+		MaxRetries: 1,
+		WorkerExtraEnv: func(spawn int) []string {
+			return []string{CrashAfterEnv + "=1"}
+		},
+	})
+	d := telemetry.Counters().Sub(before)
+	if d.Get(telemetry.CtrShardWorkersLost) < 2 {
+		t.Errorf("workers_lost = %d, want every spawn lost", d.Get(telemetry.CtrShardWorkersLost))
+	}
+	if d.Get(telemetry.CtrShardRangesReassigned) < 2 {
+		t.Errorf("ranges_reassigned = %d, want both retries of a 3-group range burned",
+			d.Get(telemetry.CtrShardRangesReassigned))
+	}
+}
+
+// TestEnvSpawnDirective exercises the environment form of the injection
+// hook (what the CI shard-smoke job uses): crash spawn 0 after one group,
+// and verify the directive is consumed by the coordinator without leaking
+// into the fleet (spawn 1 and every respawn complete the run).
+func TestEnvSpawnDirective(t *testing.T) {
+	t.Setenv(TestCrashSpawnEnv, "0:1")
+	w := makeWorld(t, "s298", 96, fsim.Options{Init: logic.Zero})
+	before := telemetry.Counters()
+	w.check(t, Options{Procs: 2, RangeSize: 2})
+	if telemetry.Counters().Sub(before).Get(telemetry.CtrShardWorkersLost) == 0 {
+		t.Error("env crash directive did not fire")
+	}
+}
+
+// TestCancellation wedges the whole fleet after one group each, then
+// cancels the context: the run must come back promptly, marked Cancelled,
+// with every unfinished group on the groups_cancelled counter.
+func TestCancellation(t *testing.T) {
+	w := makeWorld(t, "s298", 128, fsim.Options{Init: logic.Zero})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(200 * time.Millisecond)
+		cancel()
+	}()
+	before := telemetry.Counters()
+	got, err := Run(w.c, w.seq, w.faults, w.fopts, Options{
+		Procs:           2,
+		RangeSize:       1,
+		ProgressTimeout: time.Hour, // only cancellation may end this run
+		Ctx:             ctx,
+		WorkerExtraEnv: func(spawn int) []string {
+			return []string{WedgeAfterEnv + "=1"}
+		},
+	})
+	if err != nil {
+		t.Fatalf("shard.Run: %v", err)
+	}
+	if !got.Cancelled {
+		t.Fatal("expected a cancelled outcome")
+	}
+	numGroups := (len(w.faults) + fsim.GroupSize - 1) / fsim.GroupSize
+	skipped := telemetry.Counters().Sub(before).Get(telemetry.CtrGroupsCancelled)
+	if skipped <= 0 || skipped > int64(numGroups) {
+		t.Fatalf("groups_cancelled=%d, want in (0,%d]", skipped, numGroups)
+	}
+	// Whatever was merged before cancellation must agree with the baseline.
+	for i, d := range got.Detected {
+		if d && (!w.base.Detected[i] || got.DetTime[i] != w.base.DetTime[i]) {
+			t.Fatalf("fault %d: partial result diverges from baseline", i)
+		}
+	}
+}
+
+// TestPreCancelled covers the short-circuit: a context cancelled before the
+// first handshake yields a Cancelled outcome without an error.
+func TestPreCancelled(t *testing.T) {
+	w := makeWorld(t, "s298", 32, fsim.Options{Init: logic.Zero})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	got, err := Run(w.c, w.seq, w.faults, w.fopts, Options{Procs: 2, Ctx: ctx})
+	if err != nil {
+		t.Fatalf("shard.Run: %v", err)
+	}
+	if !got.Cancelled {
+		t.Fatal("expected a cancelled outcome")
+	}
+}
+
+// TestRunRejectsUnshardable pins the error contract for misuse.
+func TestRunRejectsUnshardable(t *testing.T) {
+	w := makeWorld(t, "s27", 16, fsim.Options{Init: logic.X})
+	if _, err := Run(w.c, w.seq, w.faults, w.fopts, Options{Procs: 1}); err == nil {
+		t.Error("Procs=1 should be rejected")
+	}
+	if _, err := Run(w.c, w.seq, w.faults[:1], w.fopts, Options{Procs: 2}); err == nil {
+		t.Error("a single-group fault list should be rejected")
+	}
+}
+
+// TestBadWorkerBinaryFallsThrough: when no worker can ever be spawned, run
+// must fail before writing anything so fsim falls back in-process — which
+// the fsim-level entry demonstrates end to end.
+func TestBadWorkerBinaryFallsThrough(t *testing.T) {
+	w := makeWorld(t, "s298", 32, fsim.Options{Init: logic.Zero})
+	if _, err := Run(w.c, w.seq, w.faults, w.fopts, Options{
+		Procs:      2,
+		WorkerArgv: []string{"/nonexistent/wbist-shard-worker"},
+	}); err == nil {
+		t.Fatal("expected a spawn error")
+	}
+}

@@ -1,0 +1,250 @@
+package shard
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/circuit"
+	"repro/internal/fault"
+	"repro/internal/fsim"
+	"repro/internal/logic"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// WorkerEnv is the environment marker that turns a process into a shard
+// worker. The coordinator re-execs the current binary with it set, so any
+// binary (including `go test` binaries) can serve as its own worker fleet —
+// it only has to call MaybeWorker before doing anything else.
+const WorkerEnv = "WBIST_SHARD_WORKER"
+
+// Crash-injection hooks, read by the worker loop. They exist for the
+// crash-injection test harness and the CI shard-smoke job: CrashAfterEnv
+// makes the worker exit(3) after streaming that many group results,
+// WedgeAfterEnv makes it hang forever instead (forcing the coordinator's
+// progress deadline to fire). The coordinator never forwards its own
+// injection variables to workers — see workerEnv — so only a spawn the test
+// explicitly targets misbehaves.
+const (
+	CrashAfterEnv = "WBIST_SHARD_CRASH_AFTER"
+	WedgeAfterEnv = "WBIST_SHARD_WEDGE_AFTER"
+)
+
+// MaybeWorker turns the process into a shard worker if the coordinator
+// spawned it as one (WorkerEnv is set), and never returns in that case.
+// Call it first thing in main() — and in TestMain of any test package that
+// simulates with ShardProcs > 1 — before flags, logging, or anything else
+// touches stdin/stdout.
+func MaybeWorker() {
+	if os.Getenv(WorkerEnv) == "" {
+		return
+	}
+	if err := WorkerMain(os.Stdin, os.Stdout); err != nil && err != io.EOF {
+		fmt.Fprintf(os.Stderr, "shard worker: %v\n", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// WorkerMain runs the shard worker loop: read the job frame, answer with a
+// hello, then simulate dispatched group ranges until stdin closes. Each
+// group is simulated as an independent single-group fsim run (group
+// independence is the repo's core invariant, so the per-group outcome is
+// bit-identical to the same group inside one big run) and streamed back the
+// moment it completes, together with the telemetry counter delta it
+// produced.
+func WorkerMain(stdin io.Reader, stdout io.Writer) error {
+	in := bufio.NewReader(stdin)
+	out := bufio.NewWriter(stdout)
+	fail := func(err error) error {
+		_ = writeFrame(out, errorMsg{Type: "error", Msg: err.Error()})
+		_ = out.Flush()
+		return err
+	}
+
+	var job jobMsg
+	if err := readFrame(in, &job); err != nil {
+		return err
+	}
+	if job.Type != "job" {
+		return fail(fmt.Errorf("shard: expected job frame, got %q", job.Type))
+	}
+	if job.Proto != ProtoVersion {
+		return fail(fmt.Errorf("shard: protocol mismatch: coordinator %q, worker %q", job.Proto, ProtoVersion))
+	}
+	w, err := newWorkerRun(&job)
+	if err != nil {
+		return fail(err)
+	}
+	if err := writeFrame(out, helloMsg{
+		Type: "hello", Proto: ProtoVersion,
+		Groups: w.numGroups(), Faults: len(w.faults), DFFs: len(w.c.DFFs),
+	}); err != nil {
+		return err
+	}
+	if err := out.Flush(); err != nil {
+		return err
+	}
+
+	crashAfter := envInt(CrashAfterEnv)
+	wedgeAfter := envInt(WedgeAfterEnv)
+	streamed := 0
+	for {
+		var rng rangeMsg
+		if err := readFrame(in, &rng); err != nil {
+			if err == io.EOF {
+				return nil // coordinator closed stdin: clean shutdown
+			}
+			return err
+		}
+		if rng.Type != "range" {
+			return fail(fmt.Errorf("shard: expected range frame, got %q", rng.Type))
+		}
+		if rng.Lo < 0 || rng.Hi > w.numGroups() || rng.Lo >= rng.Hi {
+			return fail(fmt.Errorf("shard: range [%d,%d) out of bounds for %d groups", rng.Lo, rng.Hi, w.numGroups()))
+		}
+		for g := rng.Lo; g < rng.Hi; g++ {
+			msg := w.runGroup(g)
+			if err := writeFrame(out, msg); err != nil {
+				return err
+			}
+			if err := out.Flush(); err != nil {
+				return err
+			}
+			streamed++
+			if crashAfter > 0 && streamed >= crashAfter {
+				os.Exit(3)
+			}
+			if wedgeAfter > 0 && streamed >= wedgeAfter {
+				select {} // wedge: alive but silent until killed
+			}
+		}
+		if err := writeFrame(out, rangeDoneMsg{Type: "range_done", Lo: rng.Lo, Hi: rng.Hi}); err != nil {
+			return err
+		}
+		if err := out.Flush(); err != nil {
+			return err
+		}
+	}
+}
+
+func envInt(name string) int {
+	v := os.Getenv(name)
+	if v == "" {
+		return 0
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// workerRun is the decoded world of one job: circuit, stimulus, faults and
+// per-group run options, plus a scratch simulator reused across groups.
+type workerRun struct {
+	c      *circuit.Circuit
+	seq    *sim.Sequence
+	faults []fault.Fault
+	sim    *fsim.Simulator
+	job    *jobMsg
+	kernel fsim.Kernel
+	states [][]logic.W // per-group initial states (nil when absent)
+}
+
+func newWorkerRun(job *jobMsg) (*workerRun, error) {
+	c, err := bench.Parse("shard-job", strings.NewReader(job.Bench))
+	if err != nil {
+		return nil, fmt.Errorf("shard: parse netlist: %w", err)
+	}
+	seq, err := sim.ParseSequence(job.Seq)
+	if err != nil {
+		return nil, fmt.Errorf("shard: parse sequence: %w", err)
+	}
+	faults := make([]fault.Fault, len(job.Faults))
+	for i, wf := range job.Faults {
+		id, ok := c.Lookup(wf.Node)
+		if !ok {
+			return nil, fmt.Errorf("shard: fault node %q not in netlist", wf.Node)
+		}
+		faults[i] = fault.Fault{Node: id, Pin: wf.Pin, Stuck: wf.Stuck}
+	}
+	// The coordinator ships the kernel it already resolved; a parse failure
+	// here would mean a silent kernel mismatch (and counter divergence), so
+	// reject it loudly.
+	kernel, err := fsim.ParseKernel(job.Kernel)
+	if err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
+	w := &workerRun{c: c, seq: seq, faults: faults, sim: fsim.New(c), job: job, kernel: kernel}
+	if job.InitialStates != nil {
+		if len(job.InitialStates) != w.numGroups() {
+			return nil, fmt.Errorf("shard: %d initial states for %d groups", len(job.InitialStates), w.numGroups())
+		}
+		w.states = make([][]logic.W, len(job.InitialStates))
+		for g, enc := range job.InitialStates {
+			st, err := decodeWords(enc)
+			if err != nil {
+				return nil, err
+			}
+			if len(st) != len(c.DFFs) {
+				return nil, fmt.Errorf("shard: initial state %d has %d words for %d flip-flops", g, len(st), len(c.DFFs))
+			}
+			w.states[g] = st
+		}
+	}
+	return w, nil
+}
+
+func (w *workerRun) numGroups() int {
+	return (len(w.faults) + fsim.GroupSize - 1) / fsim.GroupSize
+}
+
+// runGroup simulates group g alone and packages its partial outcome. The
+// counter delta is measured around the run with process-global snapshots:
+// the worker process does nothing else, so the delta is exactly this
+// group's work.
+func (w *workerRun) runGroup(g int) groupMsg {
+	lo := g * fsim.GroupSize
+	hi := min(lo+fsim.GroupSize, len(w.faults))
+	opts := fsim.Options{
+		Init:       logic.V(w.job.Init),
+		StopTime:   w.job.Stop,
+		TimeOffset: w.job.TimeOffset,
+		SaveStates: w.job.SaveStates,
+		Kernel:     w.kernel,
+		SlabLanes:  w.job.SlabLanes,
+	}
+	if w.states != nil {
+		opts.InitialStates = [][]logic.W{w.states[g]}
+	}
+	before := telemetry.Counters()
+	out := w.sim.Run(w.seq, w.faults[lo:hi], opts)
+	delta := telemetry.Counters().Sub(before)
+
+	var det uint64
+	var times []int
+	for k, d := range out.Detected {
+		if d {
+			det |= 1 << uint(k)
+			times = append(times, out.DetTime[k])
+		}
+	}
+	msg := groupMsg{
+		Type:     "group",
+		Group:    g,
+		Det:      strconv.FormatUint(det, 16),
+		DetTimes: times,
+		NumDet:   out.NumDetected,
+		Counters: delta.Map(),
+	}
+	if w.job.SaveStates {
+		msg.State = encodeWords(out.FinalStates[0])
+	}
+	return msg
+}

@@ -41,8 +41,9 @@ const SchemaVersion = "wbist-store/v1"
 
 // identity is the canonical key header: exactly the configuration fields
 // that are part of a run's identity, in a fixed JSON field order. Fields
-// deliberately absent — Telemetry, Workers, Kernel, Ctx — do not change any
-// result bit (see expt.Config); TestIdentityCoversConfig enforces that every
+// deliberately absent — Telemetry, Workers, Kernel, ShardProcs, Ctx — do not
+// change any result bit (see expt.Config); TestIdentityCoversConfig enforces
+// that every
 // expt.Config field is classified one way or the other.
 type identity struct {
 	Schema            string `json:"schema"`
@@ -66,7 +67,7 @@ var (
 		"LG", "Seed", "ATPGRandomLen", "ATPGNoCompaction", "ATPGNoPodem",
 		"RandomWindows", "NoSampleFirst", "NoForceFullLength", "NoMatchOrdering",
 	}
-	excludedFields = []string{"Telemetry", "Workers", "Kernel", "SlabLanes", "Ctx"}
+	excludedFields = []string{"Telemetry", "Workers", "Kernel", "SlabLanes", "ShardProcs", "Ctx"}
 )
 
 // Key computes the content address of a compilation: cfg must already be in

@@ -217,3 +217,191 @@ func TestWallStatus(t *testing.T) {
 		t.Errorf("zero-baseline row = %+v", rows[0])
 	}
 }
+
+const slabBase = `{
+  "schema": "wbist-bench-slab/v1",
+  "circuits": [
+    {"circuit": "s298", "faults": 596, "groups": 5, "vectors": 3000,
+     "dense": {"wall_ns": 900000, "gate_evals": 40000},
+     "event": {"wall_ns": 800000, "gate_evals": 15000},
+     "slab": {"wall_ns": 500000, "gate_evals": 40000, "allocs_per_run": 7,
+              "slab_passes": 12, "lanes_idle": 3}}
+  ]
+}`
+
+func TestCompareSlab(t *testing.T) {
+	dir := t.TempDir()
+	base := writeFile(t, dir, "base.json", slabBase)
+	// Fresh run on a slower machine: identical counters, slab wall 2x slower,
+	// plus a circuit the baseline has never seen.
+	fresh := writeFile(t, dir, "fresh.json", `{
+  "schema": "wbist-bench-slab/v1",
+  "circuits": [
+    {"circuit": "s298", "faults": 596, "groups": 5, "vectors": 3000,
+     "dense": {"wall_ns": 950000, "gate_evals": 40000},
+     "event": {"wall_ns": 820000, "gate_evals": 15000},
+     "slab": {"wall_ns": 1000000, "gate_evals": 40000, "allocs_per_run": 7,
+              "slab_passes": 12, "lanes_idle": 3}},
+    {"circuit": "zz9", "faults": 1, "groups": 1, "vectors": 1,
+     "dense": {"gate_evals": 10}, "slab": {"gate_evals": 10}}
+  ]
+}`)
+	rows, err := compareSlab(base, fresh, 0.5)
+	if err != nil {
+		t.Fatalf("compareSlab: %v", err)
+	}
+	byMetric := map[string]row{}
+	for _, r := range rows {
+		byMetric[r.circuit+"/"+r.metric] = r
+	}
+	for _, m := range []string{"slab.gate_evals (vs dense)", "vectors", "faults",
+		"groups", "dense.gate_evals"} {
+		if r := byMetric["s298/"+m]; r.status != "ok" {
+			t.Errorf("%s row = %+v", m, r)
+		}
+	}
+	if r := byMetric["s298/slab.allocs_per_run"]; r.status != "info" {
+		t.Errorf("alloc row gated: %+v", r)
+	}
+	if r := byMetric["s298/slab.wall"]; !strings.HasPrefix(r.status, "slow") {
+		t.Errorf("2x slab wall row = %+v", r)
+	}
+	// The dense-equivalence invariant is gated on the fresh file alone, even
+	// for circuits absent from the baseline.
+	if r := byMetric["zz9/slab.gate_evals (vs dense)"]; r.status != "ok" {
+		t.Errorf("fresh-only invariant row = %+v", r)
+	}
+	if r := byMetric["zz9/(not in baseline)"]; r.status != "info" {
+		t.Errorf("unknown circuit row = %+v", r)
+	}
+
+	// A slab/dense eval mismatch in the fresh file must FAIL with no
+	// baseline involvement.
+	broken := writeFile(t, dir, "broken.json", `{
+  "schema": "wbist-bench-slab/v1",
+  "circuits": [
+    {"circuit": "s298", "faults": 596, "groups": 5, "vectors": 3000,
+     "dense": {"gate_evals": 40000}, "event": {"gate_evals": 15000},
+     "slab": {"gate_evals": 39999, "slab_passes": 12}}
+  ]
+}`)
+	rows, err = compareSlab(base, broken, 0.5)
+	if err != nil {
+		t.Fatalf("compareSlab(broken): %v", err)
+	}
+	var buf bytes.Buffer
+	if failed := render(&buf, base, broken, rows); failed == 0 {
+		t.Errorf("diverged slab evals not counted as failure:\n%s", buf.String())
+	}
+	if _, err := compareSlab(base, writeFile(t, dir, "none.json",
+		`{"schema": "wbist-bench-slab/v1", "circuits": [{"circuit": "zz", "dense": {}, "slab": {}}]}`), 0.5); err == nil {
+		t.Error("no-overlap compare did not error")
+	}
+	if _, err := compareSlab(writeFile(t, dir, "wrong.json",
+		`{"schema": "wbist-bench-kernel/v1", "circuits": []}`), fresh, 0.5); err == nil {
+		t.Error("schema mismatch did not error")
+	}
+}
+
+const shardBase = `{
+  "schema": "wbist-bench-shard/v1",
+  "circuits": [
+    {"circuit": "s298", "faults": 596, "groups": 5, "detected": 265,
+     "rows": [
+      {"procs": 0, "wall_ns": 1000000, "gate_evals": 50000, "vectors": 4000,
+       "group_passes": 5},
+      {"procs": 2, "wall_ns": 2000000, "gate_evals": 50000, "vectors": 4000,
+       "group_passes": 5, "ranges_dispatched": 5},
+      {"procs": 4, "wall_ns": 2500000, "gate_evals": 50000, "vectors": 4000,
+       "group_passes": 5, "ranges_dispatched": 5}
+     ]}
+  ]
+}`
+
+func TestCompareShard(t *testing.T) {
+	dir := t.TempDir()
+	base := writeFile(t, dir, "base.json", shardBase)
+	// Healthy fresh run: identical deterministic counters, one row records a
+	// lost worker (advisory), procs=4 row missing, an extra procs=8 row, and
+	// a slower wall on the procs=2 row.
+	fresh := writeFile(t, dir, "fresh.json", `{
+  "schema": "wbist-bench-shard/v1",
+  "circuits": [
+    {"circuit": "s298", "faults": 596, "groups": 5, "detected": 265,
+     "rows": [
+      {"procs": 0, "wall_ns": 1100000, "gate_evals": 50000, "vectors": 4000,
+       "group_passes": 5},
+      {"procs": 2, "wall_ns": 4000000, "gate_evals": 50000, "vectors": 4000,
+       "group_passes": 5, "ranges_dispatched": 5, "ranges_reassigned": 1,
+       "workers_lost": 1},
+      {"procs": 8, "wall_ns": 2500000, "gate_evals": 50000, "vectors": 4000,
+       "group_passes": 5, "ranges_dispatched": 5}
+     ]}
+  ]
+}`)
+	rows, err := compareShard(base, fresh, 0.5)
+	if err != nil {
+		t.Fatalf("compareShard: %v", err)
+	}
+	byMetric := map[string]row{}
+	for _, r := range rows {
+		byMetric[r.circuit+"/"+r.metric] = r
+	}
+	for _, m := range []string{"procs=2.gate_evals (vs in-process)",
+		"procs=2.vectors (vs in-process)", "procs=2.group_passes (vs in-process)",
+		"procs=8.gate_evals (vs in-process)", "faults", "groups", "detected",
+		"procs=2.gate_evals", "procs=2.ranges_dispatched"} {
+		if r := byMetric["s298/"+m]; r.status != "ok" {
+			t.Errorf("%s row = %+v", m, r)
+		}
+	}
+	if r := byMetric["s298/procs=2.workers_lost"]; r.status != "info" {
+		t.Errorf("lost-worker row gated: %+v", r)
+	}
+	if r := byMetric["s298/procs=2.wall"]; !strings.HasPrefix(r.status, "slow") {
+		t.Errorf("2x wall row = %+v", r)
+	}
+	if r := byMetric["s298/procs=8 (not in baseline)"]; r.status != "info" {
+		t.Errorf("unknown proc row = %+v", r)
+	}
+	var buf bytes.Buffer
+	if failed := render(&buf, base, fresh, rows); failed != 0 {
+		t.Errorf("render counted %d failures, want 0:\n%s", failed, buf.String())
+	}
+
+	// Cross-row counter drift in the fresh file alone must FAIL: sharding
+	// may never change what was simulated.
+	drifted := writeFile(t, dir, "drifted.json", `{
+  "schema": "wbist-bench-shard/v1",
+  "circuits": [
+    {"circuit": "s298", "faults": 596, "groups": 5, "detected": 265,
+     "rows": [
+      {"procs": 0, "gate_evals": 50000, "vectors": 4000, "group_passes": 5},
+      {"procs": 2, "gate_evals": 49999, "vectors": 4000, "group_passes": 5,
+       "ranges_dispatched": 5}
+     ]}
+  ]
+}`)
+	rows, err = compareShard(base, drifted, 0.5)
+	if err != nil {
+		t.Fatalf("compareShard(drifted): %v", err)
+	}
+	buf.Reset()
+	if failed := render(&buf, base, drifted, rows); failed == 0 {
+		t.Errorf("cross-row eval drift not counted as failure:\n%s", buf.String())
+	}
+
+	// Structural errors: a circuit with no rows, no overlap, wrong schema.
+	if _, err := compareShard(base, writeFile(t, dir, "norows.json",
+		`{"schema": "wbist-bench-shard/v1", "circuits": [{"circuit": "s298", "rows": []}]}`), 0.5); err == nil {
+		t.Error("empty proc rows did not error")
+	}
+	if _, err := compareShard(base, writeFile(t, dir, "none.json",
+		`{"schema": "wbist-bench-shard/v1", "circuits": [{"circuit": "zz", "rows": [{"procs": 0}]}]}`), 0.5); err == nil {
+		t.Error("no-overlap compare did not error")
+	}
+	if _, err := compareShard(base, writeFile(t, dir, "wrong.json",
+		`{"schema": "wbist-bench-slab/v1", "circuits": []}`), 0.5); err == nil {
+		t.Error("schema mismatch did not error")
+	}
+}

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Unit tests for scripts/lib_poll.sh (the `make shell-test` / CI helper
+# check): immediate success, success after retries, and — the failure mode
+# the library exists for — a never-succeeding predicate must fail at the
+# wall-clock deadline, not after some iteration count, and must poll with
+# exponential backoff rather than a fixed-rate hammer.
+set -euo pipefail
+
+cd "$(dirname "$0")"
+# shellcheck source=lib_poll.sh
+. ./lib_poll.sh
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+fail() {
+    echo "poll_test: FAIL: $*" >&2
+    exit 1
+}
+
+now() { _poll_now; }
+
+elapsed_since() { # elapsed_since <start> -> prints seconds
+    awk -v s="$1" -v n="$(now)" 'BEGIN { print n - s }'
+}
+
+assert_between() { # assert_between <value> <min> <max> <label>
+    awk -v v="$1" -v lo="$2" -v hi="$3" 'BEGIN { exit !(v >= lo && v <= hi) }' ||
+        fail "$4: $1 not in [$2, $3]"
+}
+
+echo "poll_test: immediate success"
+start=$(now)
+poll_until 5 true || fail "poll_until true returned nonzero"
+assert_between "$(elapsed_since "$start")" 0 1 "immediate success took too long"
+
+echo "poll_test: success after retries"
+: >"$workdir/attempts"
+third_try() {
+    echo x >>"$workdir/attempts"
+    [[ $(wc -l <"$workdir/attempts") -ge 3 ]]
+}
+poll_until 10 third_try || fail "predicate succeeding on attempt 3 reported deadline"
+[[ $(wc -l <"$workdir/attempts") -eq 3 ]] || fail "expected exactly 3 attempts, got $(wc -l <"$workdir/attempts")"
+
+echo "poll_test: deadline failure mode"
+: >"$workdir/never"
+never() {
+    echo x >>"$workdir/never"
+    false
+}
+start=$(now)
+if poll_until 2 never; then
+    fail "never-succeeding predicate reported success"
+fi
+took=$(elapsed_since "$start")
+# The wait must be bounded by the wall clock: at least the deadline, and not
+# wildly past it (the old fixed loops could overshoot by the full cost of
+# every poll).
+assert_between "$took" 2 5 "deadline failure took ${took}s"
+# Exponential backoff: 0.05+0.1+0.2+0.4+0.8+1+... passes a 2 s deadline in
+# ~7 sleeps. A fixed 100 ms hammer would need ~20 attempts.
+attempts=$(wc -l <"$workdir/never")
+[[ "$attempts" -le 10 ]] || fail "expected backed-off polling (<=10 attempts in 2s), got $attempts"
+[[ "$attempts" -ge 3 ]] || fail "expected repeated polling, got only $attempts attempts"
+
+echo "poll_test: predicate runs in the calling shell"
+marker=unset
+set_marker() {
+    marker=set
+    true
+}
+poll_until 1 set_marker
+[[ "$marker" == set ]] || fail "predicate side effects were lost (ran in a subshell?)"
+
+echo "poll_test: PASS"

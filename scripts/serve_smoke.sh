@@ -28,6 +28,9 @@ fail() {
 
 api() { curl -sf "http://$addr/api/v1/$1"; }
 
+# shellcheck source=lib_poll.sh
+. "$(dirname "$0")/lib_poll.sh"
+
 echo "serve_smoke: building wbist"
 go build -o "$workdir/wbist" ./cmd/wbist
 
@@ -35,12 +38,11 @@ echo "serve_smoke: starting wbist serve on $addr (store $workdir/store)"
 "$workdir/wbist" serve -addr "$addr" -store "$workdir/store" -drain 30s 2>"$log" &
 pid=$!
 
-for _ in $(seq 100); do
-    api healthz >/dev/null 2>&1 && break
+healthy() {
     kill -0 "$pid" 2>/dev/null || fail "server died during startup"
-    sleep 0.1
-done
-api healthz >/dev/null || fail "server did not become healthy"
+    api healthz >/dev/null 2>&1
+}
+poll_until 10 healthy || fail "server did not become healthy"
 
 submit() {
     curl -sf -X POST "http://$addr/api/v1/jobs" \
@@ -56,17 +58,16 @@ resp="$(submit)" || fail "submission rejected"
 job="$(json_field "$resp" id)"
 [[ -n "$job" ]] || fail "no job id in response: $resp"
 
-state=""
-for _ in $(seq 300); do
-    poll="$(api "jobs/$job")" || fail "poll failed"
+poll="" state=""
+job_done() { # job_done <job-id>; sets $poll/$state, exits on terminal failure
+    poll="$(api "jobs/$1")" || fail "poll failed"
     state="$(json_field "$poll" state)"
     case "$state" in
-        done) break ;;
         failed|cancelled) fail "job reached state $state: $poll" ;;
     esac
-    sleep 0.1
-done
-[[ "$state" == done ]] || fail "job did not finish (state $state)"
+    [[ "$state" == done ]]
+}
+poll_until 30 job_done "$job" || fail "job did not finish (state $state)"
 printf '%s' "$poll" | grep -q '"cached": false' || fail "first run claims cached: $poll"
 
 api "jobs/$job/artifacts/result.json" > "$workdir/result1.json" || fail "artifact fetch failed"
@@ -77,12 +78,8 @@ grep -q module "$workdir/gen1.v" || fail "generator.v is not Verilog"
 echo "serve_smoke: resubmitting (expect cache hit)"
 resp2="$(submit)" || fail "resubmission rejected"
 job2="$(json_field "$resp2" id)"
-for _ in $(seq 100); do
-    poll2="$(api "jobs/$job2")" || fail "poll failed"
-    [[ "$(json_field "$poll2" state)" == done ]] && break
-    sleep 0.1
-done
-printf '%s' "$poll2" | grep -q '"state": "done"' || fail "resubmission did not finish: $poll2"
+poll_until 10 job_done "$job2" || fail "resubmission did not finish (state $state)"
+poll2="$poll"
 printf '%s' "$poll2" | grep -q '"cached": true' || fail "resubmission was not a cache hit: $poll2"
 [[ "$(json_field "$resp2" key)" == "$(json_field "$resp" key)" ]] || fail "store key changed on resubmit"
 
@@ -93,11 +90,8 @@ cmp -s "$workdir/gen1.v" "$workdir/gen2.v" || fail "cached generator.v differs"
 
 echo "serve_smoke: SIGTERM, expecting clean exit"
 kill -TERM "$pid"
-for _ in $(seq 100); do
-    kill -0 "$pid" 2>/dev/null || break
-    sleep 0.1
-done
-if kill -0 "$pid" 2>/dev/null; then
+server_gone() { ! kill -0 "$pid" 2>/dev/null; }
+if ! poll_until 10 server_gone; then
     fail "server still running 10s after SIGTERM"
 fi
 wait "$pid" || fail "server exited nonzero"

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of multi-process fault-group sharding (the CI
+# shard-smoke job and `make shard-smoke`): run the full s298 pipeline once
+# in-process and once sharded over 2 worker subprocesses with an injected
+# worker crash (the coordinator's first spawn of every sharded run dies
+# after one fault group), and demand byte-identical fault dictionaries.
+# Sharding is an execution policy — a lost worker, its reassigned range and
+# the process fan-out itself must not move a single detection time.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+fail() {
+    echo "shard_smoke: FAIL: $*" >&2
+    exit 1
+}
+
+echo "shard_smoke: building wbist"
+go build -o "$workdir/wbist" ./cmd/wbist
+
+echo "shard_smoke: baseline pipeline (in-process, workers=1)"
+"$workdir/wbist" -workers 1 faults s298 >"$workdir/base.txt" ||
+    fail "baseline run failed"
+
+echo "shard_smoke: sharded pipeline (2 procs, first worker crashes after 1 group)"
+WBIST_SHARD_TEST_CRASH_SPAWN=0:1 \
+    "$workdir/wbist" -workers 1 -shard-procs 2 faults s298 >"$workdir/shard.txt" ||
+    fail "sharded run failed"
+
+cmp -s "$workdir/base.txt" "$workdir/shard.txt" || {
+    diff "$workdir/base.txt" "$workdir/shard.txt" | head -20 >&2
+    fail "sharded output differs from in-process baseline"
+}
+grep -q "fault dictionary for s298" "$workdir/base.txt" ||
+    fail "implausible baseline output"
+
+echo "shard_smoke: PASS"
