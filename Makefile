@@ -11,8 +11,10 @@
 # kernel comparison; `make bench-slab` refreshes the BENCH_slab.json
 # dense-vs-event-vs-slab comparison on near-full fault universes; `make
 # bench-shard` refreshes the BENCH_shard.json in-process-vs-sharded
-# comparison; `make bench-check` measures a fresh smoke benchmark and gates
-# its deterministic work counters against all five committed BENCH baselines
+# comparison; `make bench-model` refreshes the BENCH_model.json per-fault-model
+# kernel comparison (stuck-at vs transition vs bridge); `make bench-check`
+# measures a fresh smoke benchmark and gates its deterministic work counters
+# against all six committed BENCH baselines
 # (wall-clock is advisory; see scripts/bench_compare.go);
 # `make serve-smoke` drives `wbist serve` end to end over HTTP (submit, poll,
 # cache-hit resubmit, SIGTERM drain; see scripts/serve_smoke.sh); `make
@@ -25,10 +27,10 @@ GO ?= go
 
 # The differential fuzz targets of internal/difftest (see README
 # "Correctness tooling"). FUZZTIME bounds each target's smoke run.
-FUZZ_TARGETS = FuzzRefVsFsim FuzzEventVsDense FuzzSlabVsDense FuzzShardVsDense FuzzFaultFreeVsSim FuzzWgenVsExpansion FuzzBenchRoundTrip
+FUZZ_TARGETS = FuzzRefVsFsim FuzzEventVsDense FuzzSlabVsDense FuzzShardVsDense FuzzFaultFreeVsSim FuzzWgenVsExpansion FuzzBenchRoundTrip FuzzTransitionVsRef FuzzBridgeVsRef
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet fuzz-smoke cover cover-gate bench-json bench-smoke bench-parallel bench-kernel bench-slab bench-shard bench-check serve-smoke shard-smoke shell-test
+.PHONY: all build test race vet fuzz-smoke cover cover-gate bench-json bench-smoke bench-parallel bench-kernel bench-slab bench-shard bench-model bench-check serve-smoke shard-smoke shell-test
 
 all: build test race vet
 
@@ -75,6 +77,9 @@ bench-slab: build
 bench-shard: build
 	$(GO) run ./cmd/experiments shardbench
 
+bench-model: build
+	$(GO) run ./cmd/experiments -skip-large modelbench
+
 serve-smoke: build
 	./scripts/serve_smoke.sh
 
@@ -94,3 +99,5 @@ bench-check: build
 	$(GO) run ./scripts/bench_compare.go -mode slab -baseline BENCH_slab.json -fresh /tmp/wbist_slab_fresh.json
 	$(GO) run ./cmd/experiments -circuits s298 -shard-json /tmp/wbist_shard_fresh.json shardbench
 	$(GO) run ./scripts/bench_compare.go -mode shard -baseline BENCH_shard.json -fresh /tmp/wbist_shard_fresh.json
+	$(GO) run ./cmd/experiments -circuits s298 -model-json /tmp/wbist_model_fresh.json modelbench
+	$(GO) run ./scripts/bench_compare.go -mode model -baseline BENCH_model.json -fresh /tmp/wbist_model_fresh.json

@@ -4,9 +4,9 @@
 //	experiments [-skip-large] [-lg N] [-seed N] [-workers N] [section ...]
 //
 // Sections: table1 table2 table3 table4 table5 table6 obs figure1 baselines
-// random selftest bench kernelbench slabbench shardbench (default: all but
-// bench, kernelbench, slabbench and shardbench). -skip-large omits s5378 and
-// s35932 from table6
+// random models selftest bench kernelbench slabbench shardbench modelbench
+// (default: all but bench, kernelbench, slabbench, shardbench and
+// modelbench). -skip-large omits s5378 and s35932 from table6
 // and s5378 from the observation-point tables. -workers shards fault
 // simulation over N goroutines (default GOMAXPROCS; every result is
 // bit-identical for any value) and -kernel selects the fault-simulation
@@ -21,9 +21,14 @@
 // and near-full fault universes — where multi-group batching pays off — and
 // writes -slab-json (the BENCH_slab.json baseline); the shardbench section
 // runs the same workload in-process versus sharded over -shard-procs worker
-// subprocesses and writes -shard-json (the BENCH_shard.json baseline;
-// `make bench-check` diffs fresh smokes of all of them against the committed
-// baselines). -progress
+// subprocesses and writes -shard-json (the BENCH_shard.json baseline); the
+// modelbench section times the dense and event kernels per fault model
+// (stuck-at, transition, bridge) and writes -model-json (the BENCH_model.json
+// baseline; `make bench-check` diffs fresh smokes of all of them against the
+// committed baselines). The models section compiles two suite circuits once
+// per fault model and prints per-model fault counts and coverage columns;
+// -fault-model switches the fault universe the other pipeline sections
+// target. -progress
 // streams per-phase telemetry to
 // stderr, -metrics exports completed spans as JSON lines, and -pprof serves
 // pprof, expvar and the Prometheus /metrics exposition while the run lasts.
@@ -61,6 +66,8 @@ var (
 	flagSlabJSON   = flag.String("slab-json", "BENCH_slab.json", "output file of the slabbench section")
 	flagShardProcs = flag.Int("shard-procs", 0, "shard eligible fault-simulation runs over N worker subprocesses (results are identical for any value)")
 	flagShardJSON  = flag.String("shard-json", "BENCH_shard.json", "output file of the shardbench section")
+	flagModel      = flag.String("fault-model", "", "fault model for the pipeline sections: stuck-at (default), transition or bridge (part of the run's identity)")
+	flagModelJSON  = flag.String("model-json", "BENCH_model.json", "output file of the modelbench section")
 	flagCircuits   = flag.String("circuits", "", "comma-separated circuit filter for the bench section (empty = all Table 6 circuits)")
 	flagProgress   = flag.Bool("progress", false, "print per-phase telemetry progress to stderr")
 	flagMetrics    = flag.String("metrics", "", "write telemetry span events to this file as JSON lines")
@@ -73,7 +80,7 @@ func main() {
 	sections := flag.Args()
 	if len(sections) == 0 {
 		sections = []string{"table1", "table2", "table3", "table4", "table5",
-			"table6", "obs", "figure1", "baselines", "random", "selftest"}
+			"table6", "obs", "figure1", "baselines", "random", "models", "selftest"}
 	}
 	if *flagPprof != "" {
 		srv, err := wbist.ServeDebug(*flagPprof)
@@ -93,7 +100,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(2)
 	}
-	cfg := wbist.Config{LG: *flagLG, Seed: *flagSeed, Workers: *flagWorkers, Kernel: kernel, SlabLanes: *flagSlabLanes, ShardProcs: *flagShardProcs}
+	cfg := wbist.Config{LG: *flagLG, Seed: *flagSeed, Workers: *flagWorkers, Kernel: kernel, SlabLanes: *flagSlabLanes, ShardProcs: *flagShardProcs, FaultModel: *flagModel}
 	closeMetrics := func() error { return nil }
 	if *flagMetrics != "" {
 		f, err := os.Create(*flagMetrics)
@@ -140,6 +147,8 @@ func main() {
 			err = baselines(cfg)
 		case "random":
 			err = randomExtension(cfg)
+		case "models":
+			err = modelCoverage(cfg)
 		case "selftest":
 			err = selftest(cfg)
 		case "bench":
@@ -150,6 +159,8 @@ func main() {
 			err = slabBench(cfg)
 		case "shardbench":
 			err = shardBench(cfg)
+		case "modelbench":
+			err = modelBench(cfg)
 		default:
 			err = fmt.Errorf("unknown section %q", s)
 		}
@@ -434,6 +445,38 @@ func randomExtension(cfg wbist.Config) error {
 		return err
 	}
 	fmt.Println("(2 LFSR windows of L_G cycles each; base = paper configuration)")
+	return nil
+}
+
+// modelCoverage runs the full pipeline once per fault model on two suite
+// circuits and prints the per-model fault counts, detection by T, and the
+// coverage the weighted sequences achieve over T's faults. Stuck-at is the
+// paper's model; the transition and bridging rows show the same hardware
+// recipe compiled against the launch-on-capture and 2-node wired-AND/OR
+// universes.
+func modelCoverage(cfg wbist.Config) error {
+	t := tables.New("Fault-model comparison: pipeline per model",
+		"circuit", "model", "faults", "det by T", "trans cov", "seq", "w. coverage")
+	for _, name := range []string{"s298", "s344"} {
+		for _, model := range wbist.FaultModelNames() {
+			mcfg := cfg
+			mcfg.FaultModel = model
+			r, err := wbist.RunCircuit(name, mcfg)
+			if err != nil {
+				return err
+			}
+			row := wbist.Table6(r)
+			t.Add(name, model, tables.Int(r.TotalFaults), tables.Int(row.Det),
+				tables.F1(100*float64(row.Det)/float64(max(r.TotalFaults, 1))),
+				tables.Int(row.Seq), tables.F1(100*row.Coverage))
+		}
+		fmt.Fprintf(os.Stderr, "models: %s done\n", name)
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println("(trans cov = faults of the model's collapsed universe detected by T, percent;")
+	fmt.Println(" w. coverage = coverage of T's faults by the compacted weighted sequences)")
 	return nil
 }
 
@@ -1124,6 +1167,163 @@ func shardBench(cfg wbist.Config) error {
 		return err
 	}
 	fmt.Printf("shardbench: wrote %d circuit(s) to %s\n", len(out.Circuits), *flagShardJSON)
+	return nil
+}
+
+// modelBench times the dense and event kernels per fault model (stuck-at,
+// transition, bridge) on the suite circuits and writes the BENCH_model.json
+// comparison. The workload mirrors kernelbench — a weighted stimulus against
+// the model's collapsed universe — so the file tracks the per-model cost
+// trajectory: transition faults pay the launch-history bookkeeping on top of
+// every dense pass, and bridge faults pay a second full pass per cycle (the
+// nominal resolve plus the forced replay). Before any row is written the
+// section verifies the two kernels detected the identical fault set count —
+// the bit-identity contract `bench_compare -mode model` then re-checks
+// against the committed baseline. Workers is pinned to 1 to isolate the
+// kernel; fault lists are capped at 32 groups to bound the largest circuits.
+func modelBench(cfg wbist.Config) error {
+	type kernelStats struct {
+		WallNS    int64 `json:"wall_ns"`
+		GateEvals int64 `json:"gate_evals"`
+		Vectors   int64 `json:"vectors"`
+	}
+	type modelStats struct {
+		Model    string      `json:"model"`
+		Faults   int         `json:"faults"`
+		Detected int         `json:"detected"`
+		Dense    kernelStats `json:"dense"`
+		Event    kernelStats `json:"event"`
+		// Speedup is dense wall / event wall (advisory, like every wall
+		// number); OverheadVsStuckAt is this model's dense wall over the
+		// stuck-at dense wall, the per-model injection cost trajectory.
+		Speedup           float64 `json:"speedup"`
+		OverheadVsStuckAt float64 `json:"overhead_vs_stuck_at"`
+	}
+	type circuitBench struct {
+		Circuit string       `json:"circuit"`
+		Gates   int          `json:"gates"`
+		Models  []modelStats `json:"models"`
+	}
+	type benchFile struct {
+		Schema   string         `json:"schema"`
+		Config   map[string]any `json:"config"`
+		Circuits []circuitBench `json:"circuits"`
+	}
+	lg := cfg.LG
+	if lg == 0 {
+		lg = 1000
+	}
+	const maxGroups = 32
+	out := benchFile{
+		Schema: "wbist-bench-model/v1",
+		Config: map[string]any{
+			"lg": lg, "seed": cfg.Seed, "workers": 1,
+			"max_fault_groups": maxGroups, "models": wbist.FaultModelNames(),
+		},
+	}
+	only := map[string]bool{}
+	if *flagCircuits != "" {
+		for _, name := range strings.Split(*flagCircuits, ",") {
+			only[strings.TrimSpace(name)] = true
+		}
+	}
+	names := append([]string{"s27"}, wbist.Table6Names()...)
+	for _, name := range names {
+		if *flagSkipLarge && (name == "s5378" || name == "s35932") {
+			continue
+		}
+		if len(only) > 0 && !only[name] {
+			continue
+		}
+		c, err := wbist.LoadCircuit(name)
+		if err != nil {
+			return err
+		}
+		seq := weightedWorkload(c.NumInputs(), cfg.Seed, lg)
+		init := expt.InitFor(name)
+		s := fsim.New(c)
+		cb := circuitBench{Circuit: name, Gates: c.NumGates()}
+		for _, model := range wbist.FaultModelNames() {
+			faults, err := wbist.FaultsFor(c, model)
+			if err != nil {
+				return err
+			}
+			if len(faults) > maxGroups*63 {
+				faults = faults[:maxGroups*63]
+			}
+			if len(faults) == 0 {
+				continue
+			}
+			// One calibration pass per kernel collects the (deterministic)
+			// counters and sizes the timed batches; the timed repetitions are
+			// interleaved so clock or load drift hits both kernels equally,
+			// and each keeps its fastest repetition.
+			calibrate := func(k wbist.Kernel) (kernelStats, int, int64) {
+				opts := fsim.Options{Init: init, Workers: 1, Kernel: k}
+				s.Run(seq, faults, opts) // warm-up run, untimed
+				before := wbist.Counters()
+				t0 := time.Now()
+				o := s.Run(seq, faults, opts)
+				wall := time.Since(t0).Nanoseconds()
+				d := wbist.Counters().Sub(before).Map()
+				st := kernelStats{WallNS: wall, GateEvals: d["fsim.gate_evals"], Vectors: d["fsim.vectors"]}
+				iters := int64(1)
+				if wall > 0 && wall < 8e6 {
+					iters = 8e6/wall + 1
+				}
+				return st, o.NumDetected, iters
+			}
+			timed := func(k wbist.Kernel, iters int64) int64 {
+				opts := fsim.Options{Init: init, Workers: 1, Kernel: k}
+				t0 := time.Now()
+				for i := int64(0); i < iters; i++ {
+					s.Run(seq, faults, opts)
+				}
+				return time.Since(t0).Nanoseconds() / iters
+			}
+			dense, denseDet, denseIters := calibrate(wbist.KernelDense)
+			event, eventDet, eventIters := calibrate(wbist.KernelEvent)
+			if denseDet != eventDet {
+				return fmt.Errorf("modelbench: %s %s: dense detected %d, event detected %d (kernels must be bit-identical)",
+					name, model, denseDet, eventDet)
+			}
+			for rep := 0; rep < 5; rep++ {
+				if w := timed(wbist.KernelDense, denseIters); w < dense.WallNS {
+					dense.WallNS = w
+				}
+				if w := timed(wbist.KernelEvent, eventIters); w < event.WallNS {
+					event.WallNS = w
+				}
+			}
+			ms := modelStats{Model: model, Faults: len(faults), Detected: denseDet, Dense: dense, Event: event}
+			if event.WallNS > 0 {
+				ms.Speedup = float64(dense.WallNS) / float64(event.WallNS)
+			}
+			if len(cb.Models) > 0 && cb.Models[0].Dense.WallNS > 0 {
+				ms.OverheadVsStuckAt = float64(dense.WallNS) / float64(cb.Models[0].Dense.WallNS)
+			} else if len(cb.Models) == 0 {
+				ms.OverheadVsStuckAt = 1
+			}
+			cb.Models = append(cb.Models, ms)
+			fmt.Fprintf(os.Stderr, "modelbench: %s %s det %d/%d, dense/event %.2fx, vs stuck-at %.2fx\n",
+				name, model, denseDet, len(faults), ms.Speedup, ms.OverheadVsStuckAt)
+		}
+		out.Circuits = append(out.Circuits, cb)
+	}
+	f, err := os.Create(*flagModelJSON)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("modelbench: wrote %d circuit(s) to %s\n", len(out.Circuits), *flagModelJSON)
 	return nil
 }
 

@@ -19,13 +19,14 @@ func setFlags(t *testing.T, circuits string) (kernelJSON, slabJSON, benchJSON st
 	slabJSON = filepath.Join(dir, "slab.json")
 	benchJSON = filepath.Join(dir, "bench.json")
 	shardJSON := filepath.Join(dir, "shard.json")
+	modelJSON := filepath.Join(dir, "model.json")
 	oldC, oldK, oldS, oldB := *flagCircuits, *flagKernelJSON, *flagSlabJSON, *flagBenchJSON
-	oldSh := *flagShardJSON
+	oldSh, oldM := *flagShardJSON, *flagModelJSON
 	*flagCircuits, *flagKernelJSON, *flagSlabJSON, *flagBenchJSON = circuits, kernelJSON, slabJSON, benchJSON
-	*flagShardJSON = shardJSON
+	*flagShardJSON, *flagModelJSON = shardJSON, modelJSON
 	t.Cleanup(func() {
 		*flagCircuits, *flagKernelJSON, *flagSlabJSON, *flagBenchJSON = oldC, oldK, oldS, oldB
-		*flagShardJSON = oldSh
+		*flagShardJSON, *flagModelJSON = oldSh, oldM
 	})
 	return
 }
@@ -271,5 +272,95 @@ func TestWeightedWorkload(t *testing.T) {
 	}
 	if c := weightedWorkload(5, 2, 50); c.Len() != 50 {
 		t.Fatalf("seed-2 length %d", c.Len())
+	}
+}
+
+// TestModelBench runs the modelbench section on s298 (the smallest circuit
+// whose bench workload detects faults under every model) with a short
+// workload and checks the written file: schema, one row per fault model, and
+// the dense-vs-event bit-identity invariants bench_compare -mode model gates
+// on.
+func TestModelBench(t *testing.T) {
+	setFlags(t, "s298")
+	cfg := wbist.Config{LG: 120, Seed: 1, Workers: 1}
+	if err := modelBench(cfg); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Schema   string `json:"schema"`
+		Circuits []struct {
+			Circuit string `json:"circuit"`
+			Gates   int    `json:"gates"`
+			Models  []struct {
+				Model    string `json:"model"`
+				Faults   int    `json:"faults"`
+				Detected int    `json:"detected"`
+				Dense    struct {
+					WallNS    int64 `json:"wall_ns"`
+					GateEvals int64 `json:"gate_evals"`
+					Vectors   int64 `json:"vectors"`
+				} `json:"dense"`
+				Event struct {
+					WallNS    int64 `json:"wall_ns"`
+					GateEvals int64 `json:"gate_evals"`
+					Vectors   int64 `json:"vectors"`
+				} `json:"event"`
+				Speedup           float64 `json:"speedup"`
+				OverheadVsStuckAt float64 `json:"overhead_vs_stuck_at"`
+			} `json:"models"`
+		} `json:"circuits"`
+	}
+	decodeBench(t, *flagModelJSON, &out)
+	if out.Schema != "wbist-bench-model/v1" {
+		t.Fatalf("schema = %q", out.Schema)
+	}
+	if len(out.Circuits) != 1 || out.Circuits[0].Circuit != "s298" {
+		t.Fatalf("circuits = %+v, want exactly s298", out.Circuits)
+	}
+	cb := out.Circuits[0]
+	if len(cb.Models) != 3 {
+		t.Fatalf("models = %+v, want stuck-at, transition, bridge", cb.Models)
+	}
+	for i, name := range []string{"stuck-at", "transition", "bridge"} {
+		m := cb.Models[i]
+		if m.Model != name {
+			t.Fatalf("model %d = %q, want %q", i, m.Model, name)
+		}
+		if m.Faults <= 0 || m.Detected <= 0 || m.Detected > m.Faults {
+			t.Fatalf("%s: implausible fault counts: %+v", name, m)
+		}
+		if m.Dense.WallNS <= 0 || m.Event.WallNS <= 0 || m.Dense.GateEvals <= 0 {
+			t.Fatalf("%s: implausible timings: %+v", name, m)
+		}
+		// The applied-vector counter is kernel-invariant per model: both
+		// kernels stop each group at its last detection the same way.
+		if m.Dense.Vectors != m.Event.Vectors {
+			t.Fatalf("%s: dense vectors %d != event vectors %d", name, m.Dense.Vectors, m.Event.Vectors)
+		}
+		if m.Speedup <= 0 {
+			t.Fatalf("%s: speedup = %v", name, m.Speedup)
+		}
+	}
+	// The overhead column is anchored at the stuck-at row.
+	if cb.Models[0].OverheadVsStuckAt != 1 {
+		t.Fatalf("stuck-at overhead = %v, want 1", cb.Models[0].OverheadVsStuckAt)
+	}
+	for _, m := range cb.Models[1:] {
+		if m.OverheadVsStuckAt <= 0 {
+			t.Fatalf("%s: overhead = %v", m.Model, m.OverheadVsStuckAt)
+		}
+	}
+}
+
+// TestModelCoverage runs the models section (full pipeline per fault model
+// on s298 and s344) with a short generator window; it must render without
+// error — the per-model numbers themselves are pinned by the golden tests.
+func TestModelCoverage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs six full pipelines")
+	}
+	setFlags(t, "")
+	if err := modelCoverage(wbist.Config{LG: 120, Seed: 1, Workers: 2}); err != nil {
+		t.Fatal(err)
 	}
 }

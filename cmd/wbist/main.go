@@ -41,7 +41,10 @@
 // picks W adaptively from the netlist size), -shard-procs N (shard eligible
 // fault-simulation runs over N worker subprocesses — the `shard-worker`
 // subcommand is the explicit worker entry point, though the coordinator
-// normally re-execs this binary directly), plus the
+// normally re-execs this binary directly), -fault-model
+// <stuck-at|transition|bridge> (the fault universe the pipeline targets;
+// unlike the execution flags it changes every result bit and is part of the
+// run's identity), plus the
 // observability flags -metrics <file> (JSON-lines span export), -progress
 // (per-phase progress on stderr) and -pprof <addr> (pprof/expvar server,
 // with Prometheus text exposition under /metrics).
@@ -75,6 +78,7 @@ var (
 	flagKernel    = flag.String("kernel", "auto", "fault-simulation kernel: auto, event, dense or slab (results are identical for any value)")
 	flagSlabLanes = flag.Int("slab-lanes", 0, "slab kernel fault-group batch width W (0 = adaptive; results are identical for any value)")
 	flagShard     = flag.Int("shard-procs", 0, "shard eligible fault-simulation runs over this many worker subprocesses (0/1 = in-process; results are identical for any value)")
+	flagModel     = flag.String("fault-model", "", "fault model: stuck-at (default), transition or bridge (part of the run's identity, unlike -workers/-kernel)")
 	flagMetrics   = flag.String("metrics", "", "write telemetry span events to this file as JSON lines")
 	flagProgress  = flag.Bool("progress", false, "print per-phase progress to stderr")
 	flagPprof     = flag.String("pprof", "", "serve net/http/pprof, expvar and Prometheus /metrics on this address")
@@ -125,7 +129,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "wbist:", err)
 		os.Exit(2)
 	}
-	cfg := wbist.Config{LG: *flagLG, Seed: *flagSeed, RandomWindows: *flagRandom, Workers: *flagWorkers, Kernel: kernel, SlabLanes: *flagSlabLanes, ShardProcs: *flagShard}
+	cfg := wbist.Config{LG: *flagLG, Seed: *flagSeed, RandomWindows: *flagRandom, Workers: *flagWorkers, Kernel: kernel, SlabLanes: *flagSlabLanes, ShardProcs: *flagShard, FaultModel: *flagModel}
 	cfg.Ctx = ctx
 	rec, finish, err := setupTelemetry(args[0])
 	if err != nil {
@@ -301,7 +305,13 @@ func cmdInfo(args []string) error {
 		return err
 	}
 	fmt.Println(c.Stats())
-	fmt.Printf("collapsed stuck-at faults: %d\n", len(wbist.Faults(c)))
+	for _, model := range wbist.FaultModelNames() {
+		faults, err := wbist.FaultsFor(c, model)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("collapsed %s faults: %d\n", model, len(faults))
+	}
 	return nil
 }
 
@@ -598,13 +608,17 @@ func cmdFaults(args []string, cfg wbist.Config) error {
 	if err != nil {
 		return err
 	}
-	t := tables.New(fmt.Sprintf("fault dictionary for %s under T", name),
+	universe, err := wbist.FaultsFor(r.Circuit, r.Config.FaultModel)
+	if err != nil {
+		return err
+	}
+	t := tables.New(fmt.Sprintf("%s fault dictionary for %s under T", r.Config.FaultModel, name),
 		"fault", "detected at")
 	detected := map[string]int{}
 	for i, f := range r.Targets {
 		detected[f.String(r.Circuit)] = r.DetTimes[i]
 	}
-	for _, f := range wbist.Faults(r.Circuit) {
+	for _, f := range universe {
 		key := f.String(r.Circuit)
 		if u, ok := detected[key]; ok {
 			t.Add(key, tables.Int(u))

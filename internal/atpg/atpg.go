@@ -62,6 +62,15 @@ type Options struct {
 	PodemFrames int
 	// NoDeterministicPhase disables the PODEM phase.
 	NoDeterministicPhase bool
+	// Model selects the fault model whose collapsed universe the sequence
+	// targets (nil = stuck-at). The random and directed phases work for any
+	// model; the deterministic PODEM phase reasons about stuck-at activation
+	// and propagation only, so it is skipped for other models. Phase-2
+	// directed trials continue from saved flip-flop states, which for
+	// transition faults loses the launch history at the trial boundary (see
+	// fsim.Options.InitialStates) — acceptable for a search heuristic, and
+	// the final reported coverage always comes from an unsplit rerun.
+	Model fault.Model
 	// Workers is the fault-simulation worker count handed to fsim (0 or 1 =
 	// sequential). The generated sequence is bit-identical for any value.
 	Workers int
@@ -162,7 +171,11 @@ func Generate(c *circuit.Circuit, opts Options) *Result {
 	span := opts.Span.Child("atpg")
 	defer span.End()
 	rng := randutil.New(opts.Seed)
-	faults := fault.CollapsedUniverse(c)
+	model := opts.Model
+	if model == nil {
+		model = fault.StuckAt{}
+	}
+	faults := fault.CollapsedUniverseFor(c, model)
 	s := fsim.New(c)
 
 	// Phase 1: one long random sequence, truncated after the last detection.
@@ -228,8 +241,11 @@ func Generate(c *circuit.Circuit, opts Options) *Result {
 
 	// Phase 2.5: deterministic PODEM phase for the faults random search
 	// missed. Each search continues from the good/faulty machine states at
-	// the end of the current sequence, so found windows are appended.
-	if !opts.NoDeterministicPhase && len(remaining) > 0 && !ctxDone(opts.Ctx) {
+	// the end of the current sequence, so found windows are appended. PODEM
+	// reasons about stuck-at activation/propagation, so the phase only runs
+	// under the stuck-at model.
+	_, stuckAt := model.(fault.StuckAt)
+	if !opts.NoDeterministicPhase && stuckAt && len(remaining) > 0 && !ctxDone(opts.Ctx) {
 		p25 := span.Child("podem")
 		seq, remaining = deterministicPhase(c, s, seq, remaining, opts)
 		p25.End()

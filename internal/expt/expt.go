@@ -45,6 +45,14 @@ type Config struct {
 	// schedule (the paper's future-work extension); faults they detect need
 	// no weight assignments.
 	RandomWindows int
+	// FaultModel names the fault model the pipeline targets: "" or
+	// "stuck-at" (the paper's model), "transition" (launch-on-capture) or
+	// "bridge" (2-node wired-AND/OR pairs); see fault.ModelByName. Unlike
+	// Workers/Kernel/ShardProcs the model CHANGES every result bit — the
+	// fault universe, the targets, the selected assignments — so it IS part
+	// of the memoization key (and of the persistent store identity behind
+	// `wbist serve`).
+	FaultModel string
 	// CoreOptions overrides fields of the core options other than LG, Init
 	// and Seed (ablation switches).
 	NoSampleFirst     bool
@@ -88,6 +96,13 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.LG == 0 {
 		c.LG = 2000
+	}
+	// Canonicalise the model name so the default, an explicit "stuck-at"
+	// and an alias like "stuck" all share one memo entry and one store
+	// identity. Unknown names pass through untouched and fail in
+	// RunPipeline, where the error can be reported.
+	if m, err := fault.ModelByName(c.FaultModel); err == nil {
+		c.FaultModel = m.Name()
 	}
 	return c
 }
@@ -225,7 +240,8 @@ func RunCircuit(name string, cfg Config) (*Run, error) {
 	k := key{name: name, cfg: cfg}
 	// Neither the recorder, the worker count, the kernel (and its slab lane
 	// width) nor the context is part of the identity of a run: none of them
-	// changes any result bit.
+	// changes any result bit. FaultModel, by contrast, stays in the key —
+	// each model has its own fault universe and hence its own results.
 	k.cfg.Telemetry = nil
 	k.cfg.Workers = 0
 	k.cfg.Kernel = 0
@@ -283,6 +299,10 @@ func RunPipeline(c *circuit.Circuit, init logic.V, cfg Config) (*Run, error) {
 	if err := ctxErr(cfg.Ctx); err != nil {
 		return nil, err
 	}
+	model, err := fault.ModelByName(cfg.FaultModel)
+	if err != nil {
+		return nil, err
+	}
 	r := &Run{Name: c.Name, Circuit: c, Config: cfg, Init: init}
 	pipe := cfg.Telemetry.StartSpan("pipeline")
 
@@ -292,7 +312,7 @@ func RunPipeline(c *circuit.Circuit, init logic.V, cfg Config) (*Run, error) {
 	if preset := presetSequence(c, cfg); preset != nil {
 		sp := pipe.Child("preset-sim")
 		r.T = preset
-		faults := fault.CollapsedUniverse(c)
+		faults := fault.CollapsedUniverseFor(c, model)
 		r.TotalFaults = len(faults)
 		out := fsim.Run(c, preset, faults, fsim.Options{Init: init, Workers: cfg.Workers, Kernel: cfg.Kernel, SlabLanes: cfg.SlabLanes, ShardProcs: cfg.ShardProcs, Ctx: cfg.Ctx})
 		for i := range faults {
@@ -306,6 +326,7 @@ func RunPipeline(c *circuit.Circuit, init logic.V, cfg Config) (*Run, error) {
 		ar := atpg.Generate(c, atpg.Options{
 			Seed:                 cfg.Seed + 1,
 			Init:                 init,
+			Model:                model,
 			RandomLen:            cfg.ATPGRandomLen,
 			NoCompaction:         cfg.ATPGNoCompaction,
 			NoDeterministicPhase: cfg.ATPGNoPodem,

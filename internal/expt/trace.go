@@ -32,9 +32,13 @@ func TraceRun(r *Run) (*obsv.RunTrace, error) {
 	}
 	simulator := fsim.New(c)
 
-	// Segment -1: T against the whole collapsed universe. Event fault
-	// indices are universe indices.
-	universe := fault.CollapsedUniverse(c)
+	// Segment -1: T against the whole collapsed universe of the run's fault
+	// model. Event fault indices are universe indices.
+	model, err := fault.ModelByName(cfg.FaultModel)
+	if err != nil {
+		return nil, err
+	}
+	universe := fault.CollapsedUniverseFor(c, model)
 	rt.TotalFaults = len(universe)
 	tr := obsv.NewTrace()
 	out := simulator.Run(r.T, universe, fsim.Options{

@@ -1,7 +1,9 @@
-// Package fault defines the single stuck-at fault model on gate-level
-// netlists: stem faults on every node output and branch faults on every gate
-// (and flip-flop) input pin whose driving line has fanout greater than one.
-// It also provides standard structural equivalence collapsing.
+// Package fault defines the fault models on gate-level netlists. The default
+// model is the single stuck-at fault: stem faults on every node output and
+// branch faults on every gate (and flip-flop) input pin whose driving line
+// has fanout greater than one, with standard structural equivalence
+// collapsing. Launch-on-capture transition faults and 2-node AND/OR bridging
+// faults are available behind the Model interface (see model.go).
 package fault
 
 import (
@@ -10,22 +12,56 @@ import (
 	"repro/internal/circuit"
 )
 
-// Fault is a single stuck-at fault.
+// Fault kinds. The zero value is the single stuck-at fault, so every
+// pre-existing Fault literal, map key and wire encoding keeps its meaning.
+const (
+	// KindStuckAt is a single stuck-at fault (stem or fanout branch).
+	KindStuckAt uint8 = iota
+	// KindTransition is a launch-on-capture transition fault on a stem
+	// (Pin == -1 always). Stuck is the transition's destination value:
+	// Stuck == 1 is slow-to-rise (a 0→1 transition holds the old 0 for one
+	// cycle), Stuck == 0 is slow-to-fall.
+	KindTransition
+	// KindBridge is a 2-node bridging fault between the stems Node and Node2
+	// (canonical order Node < Node2, Pin == -1 always). Stuck selects the
+	// resolution function: Stuck == 0 is wired-AND, Stuck == 1 is wired-OR.
+	KindBridge
+)
+
+// Fault is a single fault under one of the supported models; Kind selects
+// the model (the zero value is stuck-at).
 //
-// Pin == -1 places the fault on the output stem of Node. Pin >= 0 places it
-// on the Pin-th fanin branch of Node (only meaningful when that fanin's
-// driver has fanout > 1; branch faults on fanout-free lines are identical to
-// the driver's stem fault and are not enumerated).
+// For stuck-at faults, Pin == -1 places the fault on the output stem of
+// Node and Pin >= 0 on the Pin-th fanin branch of Node (only meaningful when
+// that fanin's driver has fanout > 1; branch faults on fanout-free lines are
+// identical to the driver's stem fault and are not enumerated). Transition
+// and bridge faults are stem-only (Pin == -1); bridge faults carry the
+// second bridged stem in Node2.
 type Fault struct {
 	Node  circuit.NodeID
 	Pin   int
-	Stuck uint8 // 0 or 1
+	Stuck uint8          // 0 or 1
+	Kind  uint8          // KindStuckAt (zero), KindTransition or KindBridge
+	Node2 circuit.NodeID // second stem of a bridge fault; 0 otherwise
 }
 
-// String renders the fault using node names, e.g. "G11 s-a-0" or
-// "G8.in1(G6) s-a-1".
+// String renders the fault using node names, e.g. "G11 s-a-0",
+// "G8.in1(G6) s-a-1", "G11 slow-rise" or "G6~G11 bridge-OR".
 func (f Fault) String(c *circuit.Circuit) string {
 	n := &c.Nodes[f.Node]
+	switch f.Kind {
+	case KindTransition:
+		if f.Stuck == 1 {
+			return n.Name + " slow-rise"
+		}
+		return n.Name + " slow-fall"
+	case KindBridge:
+		op := "AND"
+		if f.Stuck == 1 {
+			op = "OR"
+		}
+		return fmt.Sprintf("%s~%s bridge-%s", n.Name, c.Nodes[f.Node2].Name, op)
+	}
 	if f.Pin < 0 {
 		return fmt.Sprintf("%s s-a-%d", n.Name, f.Stuck)
 	}

@@ -1,0 +1,251 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/circuit"
+	"repro/internal/logic"
+	"repro/internal/scoap"
+)
+
+// Model is a pluggable fault model: it enumerates a deterministic fault
+// universe for a circuit and applies its model-specific collapse rules. The
+// enumeration order is part of the contract — fault-group assignment, golden
+// pins and the memo/store identities all depend on it.
+type Model interface {
+	// Name is the canonical spelling used by CLIs, job requests and cache
+	// identities ("stuck-at", "transition", "bridge").
+	Name() string
+	// Universe enumerates the model's full fault list in deterministic order.
+	Universe(c *circuit.Circuit) []Fault
+	// Collapse reduces a universe (or a subset of it, in universe order) to
+	// representatives under the model's equivalence rules.
+	Collapse(c *circuit.Circuit, faults []Fault) []Fault
+}
+
+// StuckAt is the classic single stuck-at model: the package's historical
+// Universe/Collapse pair behind the Model interface.
+type StuckAt struct{}
+
+// Name implements Model.
+func (StuckAt) Name() string { return "stuck-at" }
+
+// Universe implements Model.
+func (StuckAt) Universe(c *circuit.Circuit) []Fault { return Universe(c) }
+
+// Collapse implements Model.
+func (StuckAt) Collapse(c *circuit.Circuit, faults []Fault) []Fault { return Collapse(c, faults) }
+
+// Transition is the launch-on-capture transition fault model: per stem one
+// slow-to-fall and one slow-to-rise fault. A fault is activated in cycle t
+// when the fault-free value transitions into Stuck between t-1 and t; the
+// slow gate then still presents the old value ¬Stuck during cycle t, and the
+// fault is detected when that wrong value reaches a primary output (launch
+// at t-1, capture at t — consecutive weighted vectors, which is exactly what
+// the paper's generator applies).
+type Transition struct{}
+
+// Name implements Model.
+func (Transition) Name() string { return "transition" }
+
+// Universe implements Model: for every node slow-to-fall then slow-to-rise,
+// stem only (a slow branch is indistinguishable from a slow stem under
+// zero-delay cycle simulation up to which sinks see the stale value; the
+// stem form is the conservative superset site).
+func (Transition) Universe(c *circuit.Circuit) []Fault {
+	out := make([]Fault, 0, 2*len(c.Nodes))
+	for id := range c.Nodes {
+		out = append(out,
+			Fault{Node: circuit.NodeID(id), Pin: -1, Stuck: 0, Kind: KindTransition},
+			Fault{Node: circuit.NodeID(id), Pin: -1, Stuck: 1, Kind: KindTransition})
+	}
+	return out
+}
+
+// Collapse implements Model. Transition-fault equivalence is deliberately
+// identity: the stuck-at structural rules do not carry over (a slow-to-rise
+// on an AND input is not equivalent to one on its output — activation
+// depends on the previous cycle's value, which differs per line).
+func (Transition) Collapse(c *circuit.Circuit, faults []Fault) []Fault {
+	return append([]Fault(nil), faults...)
+}
+
+// DefaultBridgePairs caps the bridging universe at this many node pairs
+// (two faults each) unless Bridging.MaxPairs overrides it. Realistic bridge
+// lists come from extracted layout adjacency; without layout, sibling-pair
+// enumeration on large circuits over-approximates wildly, so the default
+// keeps the universe in the same order of magnitude as the stuck-at one.
+const DefaultBridgePairs = 1024
+
+// Bridging is the 2-node bridging fault model: wired-AND and wired-OR shorts
+// between pairs of stems. Candidate pairs are the sibling fanins of each
+// gate (lines that are physically routed to a common sink — the standard
+// no-layout proxy for adjacency), excluding pairs where either node is
+// combinationally reachable from the other (such a short forms a
+// combinational loop within the cycle, which zero-delay simulation cannot
+// resolve). When more pairs survive than MaxPairs, the most testable pairs
+// are kept, ranked by SCOAP controllability+observability.
+type Bridging struct {
+	// MaxPairs bounds the number of bridged node pairs (0 = DefaultBridgePairs,
+	// negative = unlimited).
+	MaxPairs int
+}
+
+// Name implements Model.
+func (Bridging) Name() string { return "bridge" }
+
+// Universe implements Model: per kept pair wired-AND then wired-OR, pairs in
+// SCOAP rank order (most testable first) when the cap binds, enumeration
+// order otherwise.
+func (m Bridging) Universe(c *circuit.Circuit) []Fault {
+	pairs := bridgePairs(c, m.maxPairs())
+	out := make([]Fault, 0, 2*len(pairs))
+	for _, p := range pairs {
+		out = append(out,
+			Fault{Node: p[0], Node2: p[1], Pin: -1, Stuck: 0, Kind: KindBridge},
+			Fault{Node: p[0], Node2: p[1], Pin: -1, Stuck: 1, Kind: KindBridge})
+	}
+	return out
+}
+
+// Collapse implements Model. Bridge faults have no structural equivalences
+// (each pair's wired value depends on both drivers' values): identity.
+func (Bridging) Collapse(c *circuit.Circuit, faults []Fault) []Fault {
+	return append([]Fault(nil), faults...)
+}
+
+func (m Bridging) maxPairs() int {
+	switch {
+	case m.MaxPairs == 0:
+		return DefaultBridgePairs
+	case m.MaxPairs < 0:
+		return int(^uint(0) >> 1) // unlimited
+	default:
+		return m.MaxPairs
+	}
+}
+
+// bridgePairs enumerates candidate bridged pairs: distinct sibling fanins of
+// each gate, canonicalized (smaller NodeID first) and deduplicated in
+// first-occurrence order. When more than maxPairs candidates exist the
+// candidates are stably re-ranked by SCOAP testability (CC0+CC1+CO summed
+// over both nodes, ascending) before the reachability filter, so the cap
+// keeps the most testable pairs. Pairs where one node can combinationally
+// reach the other are excluded.
+func bridgePairs(c *circuit.Circuit, maxPairs int) [][2]circuit.NodeID {
+	type pairKey struct{ a, b circuit.NodeID }
+	seen := make(map[pairKey]bool)
+	var cands [][2]circuit.NodeID
+	for id := range c.Nodes {
+		fi := c.Nodes[id].Fanins
+		for i := 0; i < len(fi); i++ {
+			for j := i + 1; j < len(fi); j++ {
+				a, b := fi[i], fi[j]
+				if a == b {
+					continue
+				}
+				if a > b {
+					a, b = b, a
+				}
+				k := pairKey{a, b}
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				cands = append(cands, [2]circuit.NodeID{a, b})
+			}
+		}
+	}
+	if len(cands) > maxPairs {
+		meas := scoap.Analyze(c, logic.X)
+		score := func(id circuit.NodeID) int64 {
+			return int64(meas.CC0[id]) + int64(meas.CC1[id]) + int64(meas.CO[id])
+		}
+		sort.SliceStable(cands, func(i, j int) bool {
+			si := score(cands[i][0]) + score(cands[i][1])
+			sj := score(cands[j][0]) + score(cands[j][1])
+			return si < sj
+		})
+	}
+	r := newReach(c)
+	var kept [][2]circuit.NodeID
+	for _, p := range cands {
+		if len(kept) >= maxPairs {
+			break
+		}
+		if r.reaches(p[0], p[1]) || r.reaches(p[1], p[0]) {
+			continue
+		}
+		kept = append(kept, p)
+	}
+	return kept
+}
+
+// reach answers same-cycle combinational reachability queries: src reaches
+// dst when a fanout path exists that never passes through a flip-flop (a
+// DFF's output changes only at the clock edge, so influence through it lands
+// in the next cycle). Visit marks are epoch-stamped so repeated queries
+// reuse one allocation.
+type reach struct {
+	c     *circuit.Circuit
+	mark  []int32
+	epoch int32
+	stack []circuit.NodeID
+}
+
+func newReach(c *circuit.Circuit) *reach {
+	return &reach{c: c, mark: make([]int32, len(c.Nodes))}
+}
+
+func (r *reach) reaches(src, dst circuit.NodeID) bool {
+	// Combinational influence flows strictly upward in level.
+	if r.c.Nodes[src].Level >= r.c.Nodes[dst].Level {
+		return false
+	}
+	r.epoch++
+	r.stack = append(r.stack[:0], src)
+	r.mark[src] = r.epoch
+	for len(r.stack) > 0 {
+		n := r.stack[len(r.stack)-1]
+		r.stack = r.stack[:len(r.stack)-1]
+		for _, f := range r.c.Nodes[n].Fanouts {
+			if r.c.Nodes[f].Type == circuit.DFF {
+				continue // next-cycle influence only
+			}
+			if f == dst {
+				return true
+			}
+			if r.mark[f] == r.epoch || r.c.Nodes[f].Level >= r.c.Nodes[dst].Level {
+				continue
+			}
+			r.mark[f] = r.epoch
+			r.stack = append(r.stack, f)
+		}
+	}
+	return false
+}
+
+// ModelByName resolves a CLI/config spelling to a Model. The empty string is
+// the stuck-at default, mirroring the zero value of Fault.Kind.
+func ModelByName(name string) (Model, error) {
+	switch name {
+	case "", "stuck-at", "stuck":
+		return StuckAt{}, nil
+	case "transition":
+		return Transition{}, nil
+	case "bridge", "bridging":
+		return Bridging{}, nil
+	default:
+		return nil, fmt.Errorf("fault: unknown fault model %q (want stuck-at, transition or bridge)", name)
+	}
+}
+
+// ModelNames lists the canonical model names in presentation order.
+func ModelNames() []string { return []string{"stuck-at", "transition", "bridge"} }
+
+// CollapsedUniverseFor is shorthand for m.Collapse(c, m.Universe(c)) — the
+// model-generic counterpart of CollapsedUniverse.
+func CollapsedUniverseFor(c *circuit.Circuit, m Model) []Fault {
+	return m.Collapse(c, m.Universe(c))
+}

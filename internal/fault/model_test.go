@@ -1,0 +1,267 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/circuit"
+)
+
+func buildS27ish(t *testing.T) *circuit.Circuit {
+	t.Helper()
+	b := circuit.NewBuilder("m")
+	b.Input("a")
+	b.Input("b")
+	b.Input("c")
+	b.Gate("g1", circuit.And, "a", "b")
+	b.Gate("g2", circuit.Or, "g1", "c")
+	b.Gate("g3", circuit.Nand, "a", "g2")
+	b.DFF("q", "g3")
+	b.Gate("g4", circuit.Xor, "q", "c")
+	b.Output("g4")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestModelByName(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want string
+	}{
+		{"", "stuck-at"},
+		{"stuck-at", "stuck-at"},
+		{"stuck", "stuck-at"},
+		{"transition", "transition"},
+		{"bridge", "bridge"},
+		{"bridging", "bridge"},
+	} {
+		m, err := ModelByName(tc.in)
+		if err != nil {
+			t.Fatalf("ModelByName(%q): %v", tc.in, err)
+		}
+		if m.Name() != tc.want {
+			t.Fatalf("ModelByName(%q).Name() = %q, want %q", tc.in, m.Name(), tc.want)
+		}
+	}
+	if _, err := ModelByName("delay"); err == nil {
+		t.Fatal("ModelByName(delay): want error")
+	}
+	if got := len(ModelNames()); got != 3 {
+		t.Fatalf("ModelNames() has %d entries, want 3", got)
+	}
+}
+
+// TestStuckAtModelMatchesLegacy guards the refactor invariant: the StuckAt
+// model behind the interface is the exact legacy Universe/Collapse pair.
+func TestStuckAtModelMatchesLegacy(t *testing.T) {
+	c := buildS27ish(t)
+	m := StuckAt{}
+	if !reflect.DeepEqual(m.Universe(c), Universe(c)) {
+		t.Fatal("StuckAt.Universe differs from Universe")
+	}
+	if !reflect.DeepEqual(CollapsedUniverseFor(c, m), CollapsedUniverse(c)) {
+		t.Fatal("CollapsedUniverseFor(StuckAt) differs from CollapsedUniverse")
+	}
+}
+
+func TestTransitionUniverse(t *testing.T) {
+	c := buildS27ish(t)
+	u := Transition{}.Universe(c)
+	if len(u) != 2*len(c.Nodes) {
+		t.Fatalf("universe has %d faults, want %d", len(u), 2*len(c.Nodes))
+	}
+	for i, f := range u {
+		if f.Kind != KindTransition || f.Pin != -1 || f.Node2 != 0 {
+			t.Fatalf("fault %d = %+v: want stem-only transition fault", i, f)
+		}
+		if int(f.Node) != i/2 || f.Stuck != uint8(i%2) {
+			t.Fatalf("fault %d = %+v: want node %d stuck %d (slow-fall then slow-rise per node)",
+				i, f, i/2, i%2)
+		}
+	}
+	// Collapse is identity (fresh slice, same content).
+	col := Transition{}.Collapse(c, u)
+	if !reflect.DeepEqual(col, u) {
+		t.Fatal("transition collapse is not identity")
+	}
+	if &col[0] == &u[0] {
+		t.Fatal("transition collapse aliases its input")
+	}
+	// String renderings.
+	if got := u[1].String(c); got != "a slow-rise" {
+		t.Fatalf("String = %q, want %q", got, "a slow-rise")
+	}
+	if got := u[0].String(c); got != "a slow-fall" {
+		t.Fatalf("String = %q, want %q", got, "a slow-fall")
+	}
+}
+
+func TestBridgingUniverse(t *testing.T) {
+	c := buildS27ish(t)
+	u := Bridging{}.Universe(c)
+	if len(u) == 0 || len(u)%2 != 0 {
+		t.Fatalf("universe has %d faults, want a positive even count", len(u))
+	}
+	seen := make(map[[2]circuit.NodeID]bool)
+	for i := 0; i < len(u); i += 2 {
+		a, o := u[i], u[i+1]
+		if a.Kind != KindBridge || o.Kind != KindBridge {
+			t.Fatalf("pair %d: not bridge faults: %+v %+v", i/2, a, o)
+		}
+		if a.Node != o.Node || a.Node2 != o.Node2 {
+			t.Fatalf("pair %d: AND/OR nodes differ: %+v %+v", i/2, a, o)
+		}
+		if a.Stuck != 0 || o.Stuck != 1 {
+			t.Fatalf("pair %d: want wired-AND (Stuck 0) then wired-OR (Stuck 1): %+v %+v", i/2, a, o)
+		}
+		if a.Node >= a.Node2 {
+			t.Fatalf("pair %d: not canonical Node < Node2: %+v", i/2, a)
+		}
+		k := [2]circuit.NodeID{a.Node, a.Node2}
+		if seen[k] {
+			t.Fatalf("pair %d duplicated: %+v", i/2, a)
+		}
+		seen[k] = true
+		// Sibling pairs only: the two stems must share a sink gate.
+		shared := false
+		for _, fo := range c.Nodes[a.Node].Fanouts {
+			for _, fo2 := range c.Nodes[a.Node2].Fanouts {
+				if fo == fo2 {
+					shared = true
+				}
+			}
+		}
+		if !shared {
+			t.Fatalf("pair %d (%s): nodes share no sink gate", i/2, a.String(c))
+		}
+		// Exclusion: neither stem combinationally reaches the other.
+		r := newReach(c)
+		if r.reaches(a.Node, a.Node2) || r.reaches(a.Node2, a.Node) {
+			t.Fatalf("pair %d (%s): combinationally connected pair not excluded", i/2, a.String(c))
+		}
+	}
+	// Determinism.
+	if again := (Bridging{}).Universe(c); !reflect.DeepEqual(again, u) {
+		t.Fatal("bridge universe enumeration is not deterministic")
+	}
+}
+
+// TestBridgingReachExclusion builds g = AND(a, b); h = OR(g, a): the sibling
+// pair (g, a) of h must be excluded because a combinationally reaches g, while
+// (a, b) under g survives.
+func TestBridgingReachExclusion(t *testing.T) {
+	b := circuit.NewBuilder("rx")
+	b.Input("a")
+	b.Input("b")
+	b.Gate("g", circuit.And, "a", "b")
+	b.Gate("h", circuit.Or, "g", "a")
+	b.Output("h")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := Bridging{}.Universe(c)
+	if len(u) != 2 {
+		names := make([]string, len(u))
+		for i, f := range u {
+			names[i] = f.String(c)
+		}
+		t.Fatalf("universe = %v, want exactly the a~b pair", names)
+	}
+	aID, _ := c.Lookup("a")
+	bID, _ := c.Lookup("b")
+	if u[0].Node != aID || u[0].Node2 != bID {
+		t.Fatalf("kept pair = %s, want a~b", u[0].String(c))
+	}
+	if got := u[0].String(c); got != "a~b bridge-AND" {
+		t.Fatalf("String = %q, want %q", got, "a~b bridge-AND")
+	}
+	if got := u[1].String(c); got != "a~b bridge-OR" {
+		t.Fatalf("String = %q, want %q", got, "a~b bridge-OR")
+	}
+}
+
+// TestBridgingDFFBreaksReach: a short across a flip-flop boundary is legal —
+// the DFF delays the feedback to the next cycle, so the pair is kept.
+func TestBridgingDFFBreaksReach(t *testing.T) {
+	b := circuit.NewBuilder("dffr")
+	b.Input("a")
+	b.Gate("g", circuit.And, "a", "q")
+	b.DFF("q", "g")
+	b.Output("g")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sibling pair (a, q) of g: q's only fanout path back toward a's cone goes
+	// through the DFF, so neither reaches the other combinationally.
+	u := Bridging{}.Universe(c)
+	if len(u) != 2 {
+		t.Fatalf("universe has %d faults, want 2 (the a~q pair)", len(u))
+	}
+}
+
+// TestBridgingCap: with a binding cap the model keeps the SCOAP-cheapest
+// pairs; with a non-binding cap it keeps all; the capped set is a subset of
+// the uncapped one.
+func TestBridgingCap(t *testing.T) {
+	// A gate row over shared inputs yields many sibling pairs.
+	b := circuit.NewBuilder("cap")
+	ins := []string{"a", "b", "c", "d", "e"}
+	for _, n := range ins {
+		b.Input(n)
+	}
+	b.Gate("g1", circuit.And, "a", "b", "c", "d", "e")
+	b.Gate("g2", circuit.Or, "a", "b", "c")
+	b.Output("g1")
+	b.Output("g2")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := Bridging{MaxPairs: -1}.Universe(c)
+	if len(all) != 2*10 { // C(5,2) sibling pairs under g1; g2's pairs are dupes
+		t.Fatalf("uncapped universe has %d faults, want 20", len(all))
+	}
+	capped := Bridging{MaxPairs: 3}.Universe(c)
+	if len(capped) != 2*3 {
+		t.Fatalf("capped universe has %d faults, want 6", len(capped))
+	}
+	allPairs := make(map[[2]circuit.NodeID]bool)
+	for _, f := range all {
+		allPairs[[2]circuit.NodeID{f.Node, f.Node2}] = true
+	}
+	for _, f := range capped {
+		if !allPairs[[2]circuit.NodeID{f.Node, f.Node2}] {
+			t.Fatalf("capped pair %s not in uncapped universe", f.String(c))
+		}
+	}
+	if again := (Bridging{MaxPairs: 3}).Universe(c); !reflect.DeepEqual(again, capped) {
+		t.Fatal("capped enumeration is not deterministic")
+	}
+	// Default cap applies for the zero value.
+	if got := (Bridging{}).maxPairs(); got != DefaultBridgePairs {
+		t.Fatalf("zero-value MaxPairs resolves to %d, want %d", got, DefaultBridgePairs)
+	}
+}
+
+// TestBridgingCollapseIdentity: bridge faults have no structural
+// equivalences, so Collapse must return a fresh copy of its input in order.
+func TestBridgingCollapseIdentity(t *testing.T) {
+	c := buildS27ish(t)
+	m := Bridging{}
+	u := m.Universe(c)
+	got := m.Collapse(c, u)
+	if !reflect.DeepEqual(got, u) {
+		t.Fatal("bridge collapse changed the fault list")
+	}
+	if len(u) > 0 && &got[0] == &u[0] {
+		t.Fatal("bridge collapse aliases its input slice")
+	}
+	if cu := CollapsedUniverseFor(c, m); !reflect.DeepEqual(cu, u) {
+		t.Fatal("CollapsedUniverseFor(Bridging) != identity over the universe")
+	}
+}

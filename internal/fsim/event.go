@@ -212,6 +212,7 @@ func (s *Simulator) buildInjectionEvent(faults []fault.Fault, lo, hi int, opts O
 	}
 	s.pinNodes = s.pinNodes[:0]
 	s.pinForces = s.pinForces[:0]
+	s.clearModelInjection()
 	s.stemNodes = s.stemNodes[:0]
 	s.gateSites = s.gateSites[:0]
 	s.coneSites = s.coneSites[:0]
@@ -221,7 +222,12 @@ func (s *Simulator) buildInjectionEvent(faults []fault.Fault, lo, hi int, opts O
 			continue
 		}
 		slot := uint(k - lo + 1)
-		if f.Pin < 0 {
+		if f.Kind == fault.KindTransition {
+			// Transition sites keep their per-cycle prev/force state in the
+			// trans tables; addTransSite also collects the gate sites that
+			// must be re-decided every time unit (transGates).
+			s.addTransSite(f.Node, 1<<slot, f.Stuck)
+		} else if f.Pin < 0 {
 			if f.Stuck == 0 {
 				s.stemMask0[f.Node] |= 1 << slot
 			} else {
@@ -370,6 +376,9 @@ func (s *Simulator) evalNode(id circuit.NodeID) logic.W {
 	if s.stemFlag[id] != 0 {
 		w = s.inject(id, w)
 	}
+	if s.special {
+		w = s.applyTrans(id, w, false)
+	}
 	return w
 }
 
@@ -515,6 +524,9 @@ func (s *Simulator) runGroupEvent(seq *sim.Sequence, faults []fault.Fault, lo, h
 		// every word that differs from the persisted snapshot.
 		for k, id := range c.Inputs {
 			w := s.inject(id, logic.Broadcast(seq.At(u, k)))
+			if s.special {
+				w = s.applyTrans(id, w, false)
+			}
 			if sweep || w != vals[id] {
 				vals[id] = w
 				if !sweep {
@@ -527,6 +539,9 @@ func (s *Simulator) runGroupEvent(seq *sim.Sequence, faults []fault.Fault, lo, h
 		}
 		for k, id := range c.DFFs {
 			w := s.inject(id, state[k])
+			if s.special {
+				w = s.applyTrans(id, w, false)
+			}
 			if sweep || w != vals[id] {
 				vals[id] = w
 				if !sweep {
@@ -560,6 +575,14 @@ func (s *Simulator) runGroupEvent(seq *sim.Sequence, faults []fault.Fault, lo, h
 					s.schedule(id)
 				}
 				for _, id := range s.gateSites {
+					s.schedule(id)
+				}
+			} else if s.special {
+				// Transition gate sites must re-decide their force from this
+				// cycle's nominal value even when no fanin changed (the
+				// launch transition lives in the site's own history, not in
+				// its inputs), so they are seeded every time unit.
+				for _, id := range s.transGates {
 					s.schedule(id)
 				}
 			}

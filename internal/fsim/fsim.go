@@ -70,6 +70,13 @@ type Options struct {
 	// panics if the group count does not match the fault list or a group's
 	// state width does not match the circuit's flip-flop count: a silent
 	// mismatch would corrupt the continuation run.
+	//
+	// Continuation is exact for stuck-at and bridge faults, whose machines
+	// are fully described by their flip-flop states. A transition fault's
+	// launch history (the site's previous-cycle nominal value) is per-run
+	// state that InitialStates does not carry: the continued run restarts
+	// it at X, so a launch transition straddling the split point is lost
+	// and the outcome may differ from the unsplit run around the boundary.
 	InitialStates [][]logic.W
 	// SaveStates records each group's final flip-flop state in
 	// Outcome.FinalStates (disabling the all-detected early exit so the
@@ -221,6 +228,20 @@ type Simulator struct {
 	pinForces [][]pinForce
 	poScratch []logic.W
 
+	// per-group transition/bridge fault sites (see model.go). special is set
+	// when the current group carries any transition or bridge fault, so
+	// stuck-at-only groups skip every model hook on the hot paths; hasBridge
+	// additionally arms the dense kernel's two-pass cycle.
+	transIdx    []int32
+	transNodes  []circuit.NodeID
+	transSites  [][]transSite
+	transGates  []circuit.NodeID // transition sites that are gates (event-kernel per-cycle seeds)
+	bridgeIdx   []int32
+	bridgeNodes []circuit.NodeID
+	bridgeSites [][]bridgeSite
+	special     bool
+	hasBridge   bool
+
 	// cone is the immutable static data of the event kernel, built once in
 	// New and shared (like the flattened netlist) by every pooled worker.
 	cone *Cone
@@ -298,9 +319,13 @@ func newScratch(c *circuit.Circuit) *Simulator {
 		stemMask1: make([]uint64, len(c.Nodes)),
 		stemFlag:  make([]uint8, len(c.Nodes)),
 		pinIdx:    make([]int32, len(c.Nodes)),
+		transIdx:  make([]int32, len(c.Nodes)),
+		bridgeIdx: make([]int32, len(c.Nodes)),
 	}
 	for i := range s.pinIdx {
 		s.pinIdx[i] = -1
+		s.transIdx[i] = -1
+		s.bridgeIdx[i] = -1
 	}
 	return s
 }
@@ -336,6 +361,12 @@ func Run(c *circuit.Circuit, seq *sim.Sequence, faults []fault.Fault, opts Optio
 // the result is bit-identical to the sequential run regardless of scheduling.
 func (s *Simulator) Run(seq *sim.Sequence, faults []fault.Fault, opts Options) *Outcome {
 	opts.Kernel = opts.Kernel.Resolve() // resolve env/default exactly once
+	if opts.Kernel == KernelSlab && hasModelFaults(faults) {
+		// The slab arena's injection layout is stuck-at only; a run carrying
+		// transition or bridge faults resolves to the dense kernel (same
+		// outcome by the kernel contract, different speed).
+		opts.Kernel = KernelDense
+	}
 	numGroups := (len(faults) + GroupSize - 1) / GroupSize
 	opts.Trace.Begin(numGroups, opts.Kernel.String())
 	if opts.InitialStates != nil {
@@ -549,9 +580,12 @@ func (b *counterBatch) flush() {
 // touching shared scalars is what makes the parallel fan-out race-free.
 // Dispatches on the (already resolved) Options.Kernel.
 func (s *Simulator) runGroup(seq *sim.Sequence, faults []fault.Fault, lo, hi, stop int, opts Options, out *Outcome, tb *counterBatch) int {
-	if opts.Kernel == KernelEvent {
+	if opts.Kernel == KernelEvent && !groupHasBridge(faults[lo:hi]) {
 		return s.runGroupEvent(seq, faults, lo, hi, stop, opts, out, tb)
 	}
+	// Bridge groups take the dense kernel's two-pass cycle: the event
+	// worklist cannot express a force whose value depends on a possibly
+	// higher-level node resolved within the same time unit.
 	return s.runGroupDense(seq, faults, lo, hi, stop, opts, out, tb)
 }
 
@@ -579,16 +613,23 @@ func (s *Simulator) runGroupDense(seq *sim.Sequence, faults []fault.Fault, lo, h
 	}
 	s.pinNodes = s.pinNodes[:0]
 	s.pinForces = s.pinForces[:0]
+	s.clearModelInjection()
 	for k := lo; k < hi; k++ {
 		f := faults[k]
 		slot := uint(k - lo + 1)
-		if f.Pin < 0 {
+		switch {
+		case f.Kind == fault.KindTransition:
+			s.addTransSite(f.Node, 1<<slot, f.Stuck)
+		case f.Kind == fault.KindBridge:
+			s.addBridgeSite(f.Node, f.Node2, 1<<slot, f.Stuck == 1)
+			s.addBridgeSite(f.Node2, f.Node, 1<<slot, f.Stuck == 1)
+		case f.Pin < 0:
 			if f.Stuck == 0 {
 				s.stemMask0[f.Node] |= 1 << slot
 			} else {
 				s.stemMask1[f.Node] |= 1 << slot
 			}
-		} else {
+		default:
 			idx := s.pinIdx[f.Node]
 			if idx < 0 {
 				idx = int32(len(s.pinForces))
@@ -617,47 +658,16 @@ func (s *Simulator) runGroupDense(seq *sim.Sequence, faults []fault.Fault, lo, h
 	vals := s.vals
 
 	activeMask := groupMask(hi - lo) // slots still undetected
-	var fan [8]logic.W
 
 	for u := 0; u < stop; u++ {
 		units++
-		for k, id := range c.Inputs {
-			vals[id] = s.inject(id, logic.Broadcast(seq.At(u, k)))
-		}
-		for k, id := range c.DFFs {
-			vals[id] = s.inject(id, state[k])
-		}
-		for k := range s.gateID {
-			id := s.gateID[k]
-			gt := s.gateType[k]
-			lo, hiF := s.faninStart[k], s.faninStart[k+1]
-			var w logic.W
-			// Fast paths for the dominant fault-free 1- and 2-input cases;
-			// the general path gathers into the scratch buffer.
-			if s.pinIdx[id] < 0 {
-				switch hiF - lo {
-				case 1:
-					w = eval1(gt, vals[s.faninList[lo]])
-				case 2:
-					w = eval2(gt, vals[s.faninList[lo]], vals[s.faninList[lo+1]])
-				default:
-					in := fan[:0]
-					for _, f := range s.faninList[lo:hiF] {
-						in = append(in, vals[f])
-					}
-					w = evalW(gt, in)
-				}
-			} else {
-				in := fan[:0]
-				for _, f := range s.faninList[lo:hiF] {
-					in = append(in, vals[f])
-				}
-				for _, p := range s.pinForces[s.pinIdx[id]] {
-					in[p.pin] = in[p.pin].ForceMask(p.mask, p.bit)
-				}
-				w = evalW(gt, in)
-			}
-			vals[id] = s.inject(id, w)
+		s.densePass(seq, state, u, false)
+		if s.hasBridge {
+			// Two-pass cycle: the first pass's nominal stem values resolve
+			// each bridge's wired value, the replay pass applies it at both
+			// stems so every downstream gate (at any level) sees it.
+			s.resolveBridges()
+			s.densePass(seq, state, u, true)
 		}
 		if tg != nil && lo == 0 {
 			s.traceActivity(tg)

@@ -3,12 +3,12 @@ package fsim_test
 import (
 	"encoding/json"
 	"flag"
-	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
 	"testing"
 
+	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/fsim"
@@ -25,7 +25,10 @@ var updateGolden = flag.Bool("update", false, "rewrite the golden files under te
 // Any kernel change that shifts a single fault's detection or its detection
 // time shows up here.
 type goldenRecord struct {
-	Circuit     string         `json:"circuit"`
+	Circuit string `json:"circuit"`
+	// Model names the fault model of the pin; empty for the legacy stuck-at
+	// records (kept byte-identical across the FaultModel refactor).
+	Model       string         `json:"model,omitempty"`
 	Sequence    string         `json:"sequence"`
 	Faults      int            `json:"faults"`
 	Detected    int            `json:"detected"`
@@ -39,6 +42,15 @@ type goldenCase struct {
 	seqDesc string
 	seq     *sim.Sequence
 	init    logic.V
+	model   fault.Model // nil = stuck-at (the legacy pins)
+}
+
+// universeOf is the pinned workload's collapsed fault universe.
+func universeOf(c *circuit.Circuit, m fault.Model) []fault.Fault {
+	if m == nil {
+		m = fault.StuckAt{}
+	}
+	return fault.CollapsedUniverseFor(c, m)
 }
 
 // goldenCases are the pinned workloads:
@@ -51,6 +63,10 @@ type goldenCase struct {
 //     coverage the Figure 1 generator is built to deliver.
 //   - s298-random / s344-random: suite circuits under fixed random binary
 //     stimulus, full collapsed fault universe.
+//   - *-transition / *-bridge: the same circuits and sequences under the
+//     launch-on-capture transition model and the 2-node bridging model (full
+//     collapsed universes), pinning the non-stuck-at injection paths of
+//     every kernel plus the sharded and worker-death rounds.
 func goldenCases(t *testing.T) []goldenCase {
 	t.Helper()
 	table1, err := sim.ParseSequence(iscas.S27TestSequence)
@@ -61,10 +77,16 @@ func goldenCases(t *testing.T) []goldenCase {
 	rand298 := sim.RandomSequence(randutil.New(298), 3, 128)
 	rand344 := sim.RandomSequence(randutil.New(344), 9, 128)
 	return []goldenCase{
-		{"s27-table1", "s27", "paper Table 1 deterministic sequence", table1, logic.X},
-		{"s27-weighted", "s27", "T_G of assignment (01, 0, 100, 1), l_G=64", weighted, logic.X},
-		{"s298-random", "s298", "random binary, seed 298, length 128", rand298, logic.Zero},
-		{"s344-random", "s344", "random binary, seed 344, length 128", rand344, logic.Zero},
+		{"s27-table1", "s27", "paper Table 1 deterministic sequence", table1, logic.X, nil},
+		{"s27-weighted", "s27", "T_G of assignment (01, 0, 100, 1), l_G=64", weighted, logic.X, nil},
+		{"s298-random", "s298", "random binary, seed 298, length 128", rand298, logic.Zero, nil},
+		{"s344-random", "s344", "random binary, seed 344, length 128", rand344, logic.Zero, nil},
+		{"s27-transition", "s27", "paper Table 1 deterministic sequence", table1, logic.X, fault.Transition{}},
+		{"s298-transition", "s298", "random binary, seed 298, length 128", rand298, logic.Zero, fault.Transition{}},
+		{"s344-transition", "s344", "random binary, seed 344, length 128", rand344, logic.Zero, fault.Transition{}},
+		{"s27-bridge", "s27", "paper Table 1 deterministic sequence", table1, logic.X, fault.Bridging{}},
+		{"s298-bridge", "s298", "random binary, seed 298, length 128", rand298, logic.Zero, fault.Bridging{}},
+		{"s344-bridge", "s344", "random binary, seed 344, length 128", rand344, logic.Zero, fault.Bridging{}},
 	}
 }
 
@@ -75,7 +97,7 @@ func TestGoldenOutcomes(t *testing.T) {
 	for _, tc := range goldenCases(t) {
 		t.Run(tc.name, func(t *testing.T) {
 			c := iscas.MustLoad(tc.circuit)
-			faults := fault.CollapsedUniverse(c)
+			faults := universeOf(c, tc.model)
 
 			// The golden record is computed by the dense kernel; every
 			// other configuration must reproduce it exactly.
@@ -106,18 +128,7 @@ func TestGoldenOutcomes(t *testing.T) {
 				}
 			}
 
-			got := goldenRecord{
-				Circuit:     tc.circuit,
-				Sequence:    tc.seqDesc,
-				Faults:      len(faults),
-				Detected:    ref.NumDetected,
-				DetTimeHist: map[string]int{},
-			}
-			for i := range faults {
-				if ref.Detected[i] {
-					got.DetTimeHist[fmt.Sprintf("%d", ref.DetTime[i])]++
-				}
-			}
+			got := recordOf(tc, len(faults), ref)
 
 			path := filepath.Join("testdata", "golden", tc.name+".json")
 			if *updateGolden {

@@ -8,7 +8,6 @@ import (
 	"reflect"
 	"testing"
 
-	"repro/internal/fault"
 	"repro/internal/fsim"
 	"repro/internal/iscas"
 	"repro/internal/shard"
@@ -48,6 +47,9 @@ func recordOf(tc goldenCase, faults int, out *fsim.Outcome) goldenRecord {
 		Detected:    out.NumDetected,
 		DetTimeHist: map[string]int{},
 	}
+	if tc.model != nil {
+		got.Model = tc.model.Name()
+	}
 	for i, d := range out.Detected {
 		if d {
 			got.DetTimeHist[fmt.Sprintf("%d", out.DetTime[i])]++
@@ -68,7 +70,7 @@ func TestGoldenOutcomesSharded(t *testing.T) {
 	for _, tc := range goldenCases(t) {
 		t.Run(tc.name, func(t *testing.T) {
 			c := iscas.MustLoad(tc.circuit)
-			faults := fault.CollapsedUniverse(c)
+			faults := universeOf(c, tc.model)
 			want := loadGolden(t, tc.name)
 			multiGroup := len(faults) > fsim.GroupSize
 			for _, procs := range []int{2, 3} {
@@ -103,7 +105,7 @@ func TestGoldenOutcomesShardedWorkerDeath(t *testing.T) {
 	for _, tc := range goldenCases(t) {
 		t.Run(tc.name, func(t *testing.T) {
 			c := iscas.MustLoad(tc.circuit)
-			faults := fault.CollapsedUniverse(c)
+			faults := universeOf(c, tc.model)
 			if len(faults) <= fsim.GroupSize {
 				t.Skipf("%s has a single fault group; the coordinator never engages", tc.circuit)
 			}

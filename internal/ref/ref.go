@@ -5,6 +5,10 @@
 // gate semantics are restated here from the ternary truth tables — so an
 // agreement between ref and fsim is evidence of correctness rather than of
 // shared bugs. Package difftest cross-checks the two on random circuits.
+// All three fault models are covered: stuck-at faults here, launch-on-
+// capture transition faults in transition.go and 2-node bridging faults in
+// bridge.go, each restating its model's semantics independently of the
+// fsim injection hooks.
 //
 // The oracle contract (see DESIGN.md): for the same circuit, sequence,
 // fault list and flip-flop initialisation, ref and fsim must report
@@ -144,7 +148,16 @@ func Run(c *circuit.Circuit, seq *sim.Sequence, faults []fault.Fault, opts Optio
 	}
 
 	for i := range faults {
-		det, final := simulate(c, seq, stop, opts.Init, &faults[i], golden, opts.SaveStates)
+		var det int
+		var final []logic.V
+		switch faults[i].Kind {
+		case fault.KindTransition:
+			det, final = simulateTransition(c, seq, stop, opts.Init, faults[i], golden, opts.SaveStates)
+		case fault.KindBridge:
+			det, final = simulateBridge(c, seq, stop, opts.Init, faults[i], golden, opts.SaveStates)
+		default:
+			det, final = simulate(c, seq, stop, opts.Init, &faults[i], golden, opts.SaveStates)
+		}
 		if det >= 0 {
 			out.Detected[i] = true
 			out.DetTime[i] = det + opts.TimeOffset

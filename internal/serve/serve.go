@@ -32,6 +32,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/circuit"
 	"repro/internal/expt"
+	"repro/internal/fault"
 	"repro/internal/fsim"
 	"repro/internal/iscas"
 	"repro/internal/logic"
@@ -123,6 +124,10 @@ type JobConfig struct {
 	NoSampleFirst     bool   `json:"no_sample_first,omitempty"`
 	NoForceFullLength bool   `json:"no_force_full_length,omitempty"`
 	NoMatchOrdering   bool   `json:"no_match_ordering,omitempty"`
+	// FaultModel selects the fault universe the pipeline targets:
+	// "stuck-at" (the default), "transition", or "bridge". Identity, not
+	// policy: jobs differing only in fault model get distinct store keys.
+	FaultModel string `json:"fault_model,omitempty"`
 }
 
 func (jc JobConfig) toConfig() expt.Config {
@@ -136,6 +141,7 @@ func (jc JobConfig) toConfig() expt.Config {
 		NoSampleFirst:     jc.NoSampleFirst,
 		NoForceFullLength: jc.NoForceFullLength,
 		NoMatchOrdering:   jc.NoMatchOrdering,
+		FaultModel:        jc.FaultModel,
 	}
 }
 
@@ -380,6 +386,9 @@ func resolveSubmission(req SubmitRequest) (*circuit.Circuit, []byte, logic.V, ex
 		return nil, nil, 0, expt.Config{}, fmt.Errorf("init must be %q or %q, got %q", "0", "x", req.Init)
 	}
 	cfg := expt.CanonicalConfig(req.Circuit, req.Config.toConfig())
+	if _, err := fault.ModelByName(cfg.FaultModel); err != nil {
+		return nil, nil, 0, expt.Config{}, err
+	}
 	return c, canon.Bytes(), init, cfg, nil
 }
 
@@ -565,6 +574,7 @@ func buildArtifacts(r *expt.Run, netlist []byte) (map[string][]byte, error) {
 			NoSampleFirst:     r.Config.NoSampleFirst,
 			NoForceFullLength: r.Config.NoForceFullLength,
 			NoMatchOrdering:   r.Config.NoMatchOrdering,
+			FaultModel:        r.Config.FaultModel,
 		},
 		Table6: expt.Table6(r),
 	}

@@ -199,10 +199,51 @@ func TestSubmitValidation(t *testing.T) {
 		"unknown":     {Circuit: "sX"},
 		"bad netlist": {Netlist: "not a bench file"},
 		"bad init":    {Circuit: "s27", Init: "q"},
+		"bad model":   {Circuit: "s27", Config: JobConfig{FaultModel: "delay"}},
 	} {
 		if _, code := submit(t, hs, req); code != http.StatusBadRequest {
 			t.Errorf("%s: status %d, want 400", name, code)
 		}
+	}
+}
+
+// TestSubmitFaultModel: the fault model is job identity — a transition-model
+// job gets its own store key, runs to done, and result.json echoes the model.
+func TestSubmitFaultModel(t *testing.T) {
+	_, hs := newTestServer(t)
+
+	base := SubmitRequest{Circuit: "s27", Config: JobConfig{LG: 120, Seed: 3}}
+	trans := base
+	trans.Config.FaultModel = "transition"
+
+	v1, _ := submit(t, hs, base)
+	v2, _ := submit(t, hs, trans)
+	if v1.Key == v2.Key {
+		t.Fatal("fault model did not change the store key")
+	}
+	if done := waitTerminal(t, hs, v1.ID); done.State != StateDone {
+		t.Fatalf("stuck-at job state %s (err %q)", done.State, done.Error)
+	}
+	if done := waitTerminal(t, hs, v2.ID); done.State != StateDone {
+		t.Fatalf("transition job state %s (err %q)", done.State, done.Error)
+	}
+
+	var res Result
+	if err := json.Unmarshal(fetchArtifact(t, hs, v2.ID, "result.json"), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Config.FaultModel != "transition" {
+		t.Errorf("result.json fault model = %q, want %q", res.Config.FaultModel, "transition")
+	}
+	if res.Table6.Det == 0 {
+		t.Errorf("transition run detected no faults: %+v", res.Table6)
+	}
+
+	// "stuck" is an alias of the default model: same canonical config, same key.
+	alias := base
+	alias.Config.FaultModel = "stuck"
+	if v3, _ := submit(t, hs, alias); v3.Key != v1.Key {
+		t.Errorf("alias %q fragmented the cache: key %s != %s", "stuck", v3.Key, v1.Key)
 	}
 }
 

@@ -31,7 +31,7 @@ import (
 // hello frame; any mismatch aborts the handshake before a single group is
 // simulated, so a version skew can never silently corrupt a merge. Bump the
 // suffix on any change to frame layout or message semantics.
-const ProtoVersion = "wbist-shard/v1"
+const ProtoVersion = "wbist-shard/v2"
 
 // maxFrame bounds a single frame so a corrupt or hostile length prefix
 // cannot drive an unbounded allocation. Netlist plus full fault universe of
@@ -89,6 +89,12 @@ type wireFault struct {
 	Node  string `json:"n"`
 	Pin   int    `json:"p"`
 	Stuck uint8  `json:"s"`
+	// Kind discriminates the fault model (fault.Kind: 0 stuck-at, 1
+	// transition, 2 bridge); Node2 names the second stem of a bridge fault.
+	// Both were added in wbist-shard/v2 — dropping them would silently
+	// degrade transition/bridge faults to stuck-at in the worker.
+	Kind  uint8  `json:"k,omitempty"`
+	Node2 string `json:"n2,omitempty"`
 }
 
 // jobMsg is the first coordinator→worker frame: everything a worker needs to

@@ -251,7 +251,10 @@ func (co *coordinator) buildJob(seq *sim.Sequence) error {
 	}
 	wfs := make([]wireFault, len(co.faults))
 	for i, f := range co.faults {
-		wfs[i] = wireFault{Node: co.c.Nodes[f.Node].Name, Pin: f.Pin, Stuck: f.Stuck}
+		wfs[i] = wireFault{Node: co.c.Nodes[f.Node].Name, Pin: f.Pin, Stuck: f.Stuck, Kind: f.Kind}
+		if f.Kind == fault.KindBridge {
+			wfs[i].Node2 = co.c.Nodes[f.Node2].Name
+		}
 	}
 	co.job = jobMsg{
 		Type: "job", Proto: ProtoVersion,

@@ -172,7 +172,14 @@ func newWorkerRun(job *jobMsg) (*workerRun, error) {
 		if !ok {
 			return nil, fmt.Errorf("shard: fault node %q not in netlist", wf.Node)
 		}
-		faults[i] = fault.Fault{Node: id, Pin: wf.Pin, Stuck: wf.Stuck}
+		faults[i] = fault.Fault{Node: id, Pin: wf.Pin, Stuck: wf.Stuck, Kind: wf.Kind}
+		if wf.Kind == fault.KindBridge {
+			id2, ok := c.Lookup(wf.Node2)
+			if !ok {
+				return nil, fmt.Errorf("shard: bridge fault node %q not in netlist", wf.Node2)
+			}
+			faults[i].Node2 = id2
+		}
 	}
 	// The coordinator ships the kernel it already resolved; a parse failure
 	// here would mean a silent kernel mismatch (and counter divergence), so

@@ -37,7 +37,8 @@ import (
 // SchemaVersion is baked into every key. Bump it when the meaning of a
 // stored artifact changes (pipeline semantics, artifact formats), which
 // invalidates every prior entry without touching the disk.
-const SchemaVersion = "wbist-store/v1"
+// v2: the key identity gained the fault model (expt.Config.FaultModel).
+const SchemaVersion = "wbist-store/v2"
 
 // identity is the canonical key header: exactly the configuration fields
 // that are part of a run's identity, in a fixed JSON field order. Fields
@@ -57,6 +58,7 @@ type identity struct {
 	NoSampleFirst     bool   `json:"no_sample_first"`
 	NoForceFullLength bool   `json:"no_force_full_length"`
 	NoMatchOrdering   bool   `json:"no_match_ordering"`
+	FaultModel        string `json:"fault_model"`
 }
 
 // identityFields and excludedFields classify every expt.Config field. A new
@@ -66,6 +68,7 @@ var (
 	identityFields = []string{
 		"LG", "Seed", "ATPGRandomLen", "ATPGNoCompaction", "ATPGNoPodem",
 		"RandomWindows", "NoSampleFirst", "NoForceFullLength", "NoMatchOrdering",
+		"FaultModel",
 	}
 	excludedFields = []string{"Telemetry", "Workers", "Kernel", "SlabLanes", "ShardProcs", "Ctx"}
 )
@@ -95,6 +98,7 @@ func Key(netlist []byte, init logic.V, cfg expt.Config) (string, error) {
 		NoSampleFirst:     cfg.NoSampleFirst,
 		NoForceFullLength: cfg.NoForceFullLength,
 		NoMatchOrdering:   cfg.NoMatchOrdering,
+		FaultModel:        cfg.FaultModel,
 	})
 	if err != nil {
 		return "", err

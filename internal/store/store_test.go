@@ -68,6 +68,7 @@ func TestKeyIdentity(t *testing.T) {
 		"NoSampleFirst":     func(c *expt.Config) { c.NoSampleFirst = true },
 		"NoForceFullLength": func(c *expt.Config) { c.NoForceFullLength = true },
 		"NoMatchOrdering":   func(c *expt.Config) { c.NoMatchOrdering = true },
+		"FaultModel":        func(c *expt.Config) { c.FaultModel = "transition" },
 	}
 	seen := map[string]string{k0: "base"}
 	for field, mutate := range variants {

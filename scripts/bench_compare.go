@@ -3,12 +3,13 @@
 // counters. It is the teeth behind `make bench-check` and the advisory
 // bench-regression CI job.
 //
-// Three baseline schemas are supported, selected by -mode:
+// Five baseline schemas are supported, selected by -mode:
 //
 //	pipeline  wbist-bench-pipeline/v1 (BENCH_pipeline.json, BENCH_parallel.json)
 //	kernel    wbist-bench-kernel/v1   (BENCH_event.json)
 //	slab      wbist-bench-slab/v1     (BENCH_slab.json)
 //	shard     wbist-bench-shard/v1    (BENCH_shard.json)
+//	model     wbist-bench-model/v1    (BENCH_model.json)
 //
 // Only circuits present in both files are compared, so a cheap smoke run
 // (-circuits s298) can be checked against the full committed trajectory.
@@ -110,6 +111,25 @@ type shardCircuit struct {
 	Rows     []shardStats `json:"rows"`
 }
 
+type modelKernelStats struct {
+	WallNS    int64 `json:"wall_ns"`
+	GateEvals int64 `json:"gate_evals"`
+	Vectors   int64 `json:"vectors"`
+}
+
+type modelStats struct {
+	Model    string           `json:"model"`
+	Faults   int              `json:"faults"`
+	Detected int              `json:"detected"`
+	Dense    modelKernelStats `json:"dense"`
+	Event    modelKernelStats `json:"event"`
+}
+
+type modelCircuit struct {
+	Circuit string       `json:"circuit"`
+	Models  []modelStats `json:"models"`
+}
+
 type benchFile struct {
 	Schema   string          `json:"schema"`
 	Circuits json.RawMessage `json:"circuits"`
@@ -156,8 +176,10 @@ func main() {
 		rows, err = compareSlab(*baseline, *fresh, *wallTol)
 	case "shard":
 		rows, err = compareShard(*baseline, *fresh, *wallTol)
+	case "model":
+		rows, err = compareModel(*baseline, *fresh, *wallTol)
 	default:
-		err = fmt.Errorf("unknown -mode %q (want pipeline, kernel, slab or shard)", *mode)
+		err = fmt.Errorf("unknown -mode %q (want pipeline, kernel, slab, shard or model)", *mode)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bench_compare: %v\n", err)
@@ -453,6 +475,75 @@ func compareShard(basePath, freshPath string, tol float64) ([]row, error) {
 			rows = info(rows, f.Circuit, label+".ranges_reassigned", br.RangesReassigned, r.RangesReassigned)
 			rows = info(rows, f.Circuit, label+".workers_lost", br.WorkersLost, r.WorkersLost)
 			rows = wall(rows, f.Circuit, label+".wall", br.WallNS, r.WallNS, tol)
+		}
+	}
+	if matched == 0 {
+		return nil, fmt.Errorf("no circuits of %s appear in %s", freshPath, basePath)
+	}
+	return rows, nil
+}
+
+// compareModel gates the per-fault-model kernel baseline. Each model's fault
+// universe, detection count and dense gate-eval total are deterministic for a
+// fixed seed, so they must match the baseline exactly; and within the fresh
+// measurement alone the dense and event kernels must report the same vector
+// count (bit-identical outcomes mean the all-detected early exit fires at the
+// same time unit in both). The event kernel's raw gate_evals shift with
+// warm-start state, so they are informational; wall-clock is advisory, as
+// everywhere.
+func compareModel(basePath, freshPath string, tol float64) ([]row, error) {
+	var base, fresh []modelCircuit
+	schema, err := load(basePath, &base)
+	if err != nil {
+		return nil, err
+	}
+	if err := wantSchema(basePath, schema, "wbist-bench-model/v1"); err != nil {
+		return nil, err
+	}
+	if schema, err = load(freshPath, &fresh); err != nil {
+		return nil, err
+	}
+	if err := wantSchema(freshPath, schema, "wbist-bench-model/v1"); err != nil {
+		return nil, err
+	}
+	byName := map[string]modelCircuit{}
+	for _, c := range base {
+		byName[c.Circuit] = c
+	}
+	var rows []row
+	matched := 0
+	for _, f := range fresh {
+		// Cross-kernel invariance within the fresh measurement, gated before
+		// any baseline comparison.
+		for _, m := range f.Models {
+			rows = exact(rows, f.Circuit, m.Model+".vectors (event vs dense)",
+				m.Dense.Vectors, m.Event.Vectors)
+		}
+		b, ok := byName[f.Circuit]
+		if !ok {
+			rows = append(rows, row{f.Circuit, "(not in baseline)", "-", "-", "info"})
+			continue
+		}
+		matched++
+		for _, m := range f.Models {
+			bm, found := modelStats{}, false
+			for _, cand := range b.Models {
+				if cand.Model == m.Model {
+					bm, found = cand, true
+					break
+				}
+			}
+			if !found {
+				rows = append(rows, row{f.Circuit, m.Model + " (not in baseline)", "-", "-", "info"})
+				continue
+			}
+			rows = exact(rows, f.Circuit, m.Model+".faults", int64(bm.Faults), int64(m.Faults))
+			rows = exact(rows, f.Circuit, m.Model+".detected", int64(bm.Detected), int64(m.Detected))
+			rows = exact(rows, f.Circuit, m.Model+".dense.gate_evals", bm.Dense.GateEvals, m.Dense.GateEvals)
+			rows = exact(rows, f.Circuit, m.Model+".vectors", bm.Dense.Vectors, m.Dense.Vectors)
+			rows = info(rows, f.Circuit, m.Model+".event.gate_evals", bm.Event.GateEvals, m.Event.GateEvals)
+			rows = wall(rows, f.Circuit, m.Model+".dense.wall", bm.Dense.WallNS, m.Dense.WallNS, tol)
+			rows = wall(rows, f.Circuit, m.Model+".event.wall", bm.Event.WallNS, m.Event.WallNS, tol)
 		}
 	}
 	if matched == 0 {

@@ -303,6 +303,115 @@ func TestCompareSlab(t *testing.T) {
 	}
 }
 
+const modelBase = `{
+  "schema": "wbist-bench-model/v1",
+  "circuits": [
+    {"circuit": "s298", "gates": 119, "models": [
+      {"model": "stuck-at", "faults": 496, "detected": 370,
+       "dense": {"wall_ns": 1600000, "gate_evals": 114240, "vectors": 960},
+       "event": {"wall_ns": 1400000, "gate_evals": 114240, "vectors": 960}},
+      {"model": "transition", "faults": 272, "detected": 197,
+       "dense": {"wall_ns": 1400000, "gate_evals": 71400, "vectors": 600},
+       "event": {"wall_ns": 1300000, "gate_evals": 71400, "vectors": 600}}
+    ]}
+  ]
+}`
+
+func TestCompareModel(t *testing.T) {
+	dir := t.TempDir()
+	base := writeFile(t, dir, "base.json", modelBase)
+	// Healthy fresh run: identical deterministic counters, transition dense
+	// wall 2x slower, a model and a circuit the baseline has never seen.
+	fresh := writeFile(t, dir, "fresh.json", `{
+  "schema": "wbist-bench-model/v1",
+  "circuits": [
+    {"circuit": "s298", "gates": 119, "models": [
+      {"model": "stuck-at", "faults": 496, "detected": 370,
+       "dense": {"wall_ns": 1700000, "gate_evals": 114240, "vectors": 960},
+       "event": {"wall_ns": 1500000, "gate_evals": 110000, "vectors": 960}},
+      {"model": "transition", "faults": 272, "detected": 197,
+       "dense": {"wall_ns": 2900000, "gate_evals": 71400, "vectors": 600},
+       "event": {"wall_ns": 1350000, "gate_evals": 71400, "vectors": 600}},
+      {"model": "bridge", "faults": 330, "detected": 281,
+       "dense": {"gate_evals": 75803, "vectors": 637},
+       "event": {"gate_evals": 75803, "vectors": 637}}
+    ]},
+    {"circuit": "zz9", "models": [
+      {"model": "stuck-at", "faults": 2, "detected": 1,
+       "dense": {"gate_evals": 10, "vectors": 4},
+       "event": {"gate_evals": 10, "vectors": 4}}
+    ]}
+  ]
+}`)
+	rows, err := compareModel(base, fresh, 0.5)
+	if err != nil {
+		t.Fatalf("compareModel: %v", err)
+	}
+	byMetric := map[string]row{}
+	for _, r := range rows {
+		byMetric[r.circuit+"/"+r.metric] = r
+	}
+	for _, m := range []string{"stuck-at.vectors (event vs dense)",
+		"stuck-at.faults", "stuck-at.detected", "stuck-at.dense.gate_evals",
+		"stuck-at.vectors", "transition.faults", "transition.detected"} {
+		if r := byMetric["s298/"+m]; r.status != "ok" {
+			t.Errorf("%s row = %+v", m, r)
+		}
+	}
+	// The event kernel's raw eval split may drift (warm-start state): info.
+	if r := byMetric["s298/stuck-at.event.gate_evals"]; r.status != "info" {
+		t.Errorf("event split row gated: %+v", r)
+	}
+	if r := byMetric["s298/transition.dense.wall"]; !strings.HasPrefix(r.status, "slow") {
+		t.Errorf("2x wall row = %+v", r)
+	}
+	if r := byMetric["s298/bridge (not in baseline)"]; r.status != "info" {
+		t.Errorf("unknown model row = %+v", r)
+	}
+	// The cross-kernel invariant is gated on the fresh file alone, even for
+	// circuits absent from the baseline.
+	if r := byMetric["zz9/stuck-at.vectors (event vs dense)"]; r.status != "ok" {
+		t.Errorf("fresh-only invariant row = %+v", r)
+	}
+	if r := byMetric["zz9/(not in baseline)"]; r.status != "info" {
+		t.Errorf("unknown circuit row = %+v", r)
+	}
+	var buf bytes.Buffer
+	if failed := render(&buf, base, fresh, rows); failed != 0 {
+		t.Errorf("render counted %d failures, want 0:\n%s", failed, buf.String())
+	}
+
+	// A dense/event vector mismatch in the fresh file alone must FAIL:
+	// kernels are bit-identical per model, whatever the baseline says.
+	broken := writeFile(t, dir, "broken.json", `{
+  "schema": "wbist-bench-model/v1",
+  "circuits": [
+    {"circuit": "s298", "models": [
+      {"model": "stuck-at", "faults": 496, "detected": 370,
+       "dense": {"gate_evals": 114240, "vectors": 960},
+       "event": {"gate_evals": 114240, "vectors": 959}}
+    ]}
+  ]
+}`)
+	rows, err = compareModel(base, broken, 0.5)
+	if err != nil {
+		t.Fatalf("compareModel(broken): %v", err)
+	}
+	buf.Reset()
+	if failed := render(&buf, base, broken, rows); failed == 0 {
+		t.Errorf("cross-kernel vector drift not counted as failure:\n%s", buf.String())
+	}
+
+	if _, err := compareModel(base, writeFile(t, dir, "none.json",
+		`{"schema": "wbist-bench-model/v1", "circuits": [{"circuit": "zz", "models": []}]}`), 0.5); err == nil {
+		t.Error("no-overlap compare did not error")
+	}
+	if _, err := compareModel(writeFile(t, dir, "wrong.json",
+		`{"schema": "wbist-bench-shard/v1", "circuits": []}`), fresh, 0.5); err == nil {
+		t.Error("schema mismatch did not error")
+	}
+}
+
 const shardBase = `{
   "schema": "wbist-bench-shard/v1",
   "circuits": [

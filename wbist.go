@@ -146,6 +146,20 @@ func WriteBench(w io.Writer, c *Circuit) error { return bench.Write(w, c) }
 // circuit.
 func Faults(c *Circuit) []Fault { return fault.CollapsedUniverse(c) }
 
+// FaultModelNames lists the canonical fault-model names understood by
+// FaultsFor and by Config.FaultModel ("stuck-at", "transition", "bridge").
+func FaultModelNames() []string { return fault.ModelNames() }
+
+// FaultsFor enumerates the collapsed fault universe of a circuit under the
+// named fault model ("" selects stuck-at; see FaultModelNames).
+func FaultsFor(c *Circuit, model string) ([]Fault, error) {
+	m, err := fault.ModelByName(model)
+	if err != nil {
+		return nil, err
+	}
+	return fault.CollapsedUniverseFor(c, m), nil
+}
+
 // GenerateTestSequence produces a deterministic test sequence for a circuit
 // (the STRATEGATE/SEQCOM substitute: fault-simulation-driven search plus
 // static compaction). init is the flip-flop initialisation (Zero or X).

@@ -165,3 +165,34 @@ func TestParseKernelPublic(t *testing.T) {
 		t.Error("ParseKernel(warp) should fail")
 	}
 }
+
+func TestFaultsForModels(t *testing.T) {
+	c, err := LoadCircuit("s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := FaultModelNames()
+	if len(names) != 3 || names[0] != "stuck-at" {
+		t.Fatalf("model names: %v", names)
+	}
+	// "" is the stuck-at default and must match the legacy Faults helper.
+	def, err := FaultsFor(c, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy := Faults(c); len(def) != len(legacy) {
+		t.Fatalf("default universe %d faults, legacy %d", len(def), len(legacy))
+	}
+	for _, name := range names {
+		u, err := FaultsFor(c, name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(u) == 0 {
+			t.Fatalf("%s: empty universe", name)
+		}
+	}
+	if _, err := FaultsFor(c, "delay"); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
